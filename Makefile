@@ -1,0 +1,31 @@
+# Convenience targets for the NobLSM reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full figures clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q --ignore=tests/property
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.bench all
+
+artifacts: test bench
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf results/*.txt .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

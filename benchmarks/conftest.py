@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE``  — override the scale factor (default: per-bench)
+- ``REPRO_BENCH_FULL=1`` — run the full store x value-size matrices
+  instead of the representative subsets.
+
+Each benchmark writes the table/series it regenerated to
+``results/<name>.txt`` so a full run leaves the paper-comparable output
+on disk.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_scale(default: float) -> float:
+    value = os.environ.get("REPRO_BENCH_SCALE")
+    return float(value) if value else default
+
+
+def full_matrix() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture()
+def record_result():
+    return write_result

@@ -1,0 +1,78 @@
+"""Ablation: reclamation poll period vs shadow-space overhead.
+
+DESIGN.md section 5. The paper matches the reclamation poll to Ext4's
+5 s commit interval "to reduce unnecessary checks across the user- and
+kernel-spaces". Polling faster only burns syscalls (commits have not
+happened yet); polling slower retains shadows longer. This bench sweeps
+the poll period and reports syscall counts and peak shadow residency.
+"""
+
+from conftest import bench_scale, write_result
+
+from repro.bench.harness import ScaledConfig
+from repro.bench.report import format_table
+from repro.bench.workloads import ValueGenerator, fillrandom_indices, make_key
+from repro.core.noblsm import NobLSM
+from repro.sim.clock import seconds
+
+POLL_PERIODS_S = (1.0, 5.0, 25.0)
+
+
+def run_with_poll(poll_s, scale):
+    config = ScaledConfig(scale=scale, value_size=1024)
+    stack = config.build_stack()
+    options = config.build_options()
+    options.reclaim_interval_ns = max(int(seconds(poll_s) / scale), 1000)
+    db = NobLSM(stack, options=options)
+    values = ValueGenerator(config.value_size, seed=config.seed)
+    t = 0
+    peak_shadows = 0
+    for index in fillrandom_indices(config.num_ops, config.seed):
+        t = db.put(make_key(index), values.next(), at=t)
+        if db.stats.puts % 500 == 0:
+            peak_shadows = max(peak_shadows, db.shadow_count)
+    return {
+        "us_per_op": t / 1000 / config.num_ops,
+        "is_committed_calls": stack.syscalls.is_committed_calls,
+        "peak_shadows": peak_shadows,
+        "reclaim_runs": db.reclaim_runs,
+    }
+
+
+def sweep(scale):
+    return {poll: run_with_poll(poll, scale) for poll in POLL_PERIODS_S}
+
+
+def test_ablation_reclaim_period(benchmark, record_result):
+    scale = bench_scale(1000.0)
+    results = benchmark.pedantic(sweep, args=(scale,), rounds=1, iterations=1)
+    rows = [
+        [
+            f"{poll:g}s",
+            round(r["us_per_op"], 3),
+            r["is_committed_calls"],
+            r["peak_shadows"],
+            r["reclaim_runs"],
+        ]
+        for poll, r in results.items()
+    ]
+    record_result(
+        "ablation_reclaim",
+        format_table(
+            "Ablation: NobLSM reclamation poll period (paper-equivalent)",
+            ["poll", "us/op", "is_committed calls", "peak shadows", "polls"],
+            rows,
+        ),
+    )
+    fast, paper, slow = (results[p] for p in POLL_PERIODS_S)
+    # faster polling issues more syscalls...
+    assert fast["is_committed_calls"] >= paper["is_committed_calls"]
+    # ...while slower polling retains more shadows
+    assert slow["peak_shadows"] >= paper["peak_shadows"]
+    # and none of it matters for foreground throughput (background work)
+    times = [r["us_per_op"] for r in results.values()]
+    assert max(times) < 1.35 * min(times)
+    benchmark.extra_info["summary"] = {
+        f"{k:g}s": {"calls": v["is_committed_calls"], "shadows": v["peak_shadows"]}
+        for k, v in results.items()
+    }

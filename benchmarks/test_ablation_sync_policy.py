@@ -1,0 +1,68 @@
+"""Ablation: the sync-policy spectrum between LevelDB and volatile.
+
+DESIGN.md section 5. Decompose NobLSM's gain: starting from stock
+LevelDB, remove the manifest sync, then the major-output syncs (i.e.
+NobLSM), then the minor sync too (volatile). Each step should be
+monotonically faster, and the major-output syncs should be the biggest
+single contributor — that is the paper's central claim.
+"""
+
+from conftest import bench_scale, write_result
+
+from repro.bench.db_bench import run_fillrandom
+from repro.bench.harness import ScaledConfig
+from repro.bench.report import format_table
+from repro.baselines.registry import make_store
+from repro.lsm.options import Options
+
+
+def run_policy(sync_minor, sync_major, sync_manifest, scale):
+    config = ScaledConfig(scale=scale, value_size=1024)
+    stack = config.build_stack()
+    options = config.build_options()
+    options.sync.sync_minor = sync_minor
+    options.sync.sync_major = sync_major
+    options.sync.sync_manifest = sync_manifest
+    from repro.lsm.db import DB
+    from repro.bench.db_bench import _fill
+
+    db = DB(stack, options=options)
+    start = stack.now
+    end = _fill(db, config, seed_offset=0, at=start)
+    return (end - start) / 1000 / config.num_ops  # us/op
+
+
+def sweep(scale):
+    return {
+        "leveldb (all syncs)": run_policy(True, True, True, scale),
+        "no manifest sync": run_policy(True, True, False, scale),
+        "noblsm (minor only)": run_policy(True, False, False, scale),
+        "volatile (none)": run_policy(False, False, False, scale),
+    }
+
+
+def test_ablation_sync_policy(benchmark, record_result):
+    scale = bench_scale(1000.0)
+    results = benchmark.pedantic(sweep, args=(scale,), rounds=1, iterations=1)
+    rows = [[name, round(us, 3)] for name, us in results.items()]
+    record_result(
+        "ablation_sync_policy",
+        format_table(
+            "Ablation: fillrandom us/op across the sync-policy spectrum",
+            ["policy", "us/op"],
+            rows,
+        ),
+    )
+    ordered = list(results.values())
+    # each removed sync class helps (monotone non-increasing, small slack)
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later <= earlier * 1.05
+    # removing major-output syncs is the dominant step
+    major_gain = results["no manifest sync"] - results["noblsm (minor only)"]
+    manifest_gain = results["leveldb (all syncs)"] - results["no manifest sync"]
+    minor_gain = results["noblsm (minor only)"] - results["volatile (none)"]
+    assert major_gain >= manifest_gain
+    assert major_gain >= minor_gain
+    benchmark.extra_info["results_us_per_op"] = {
+        k: round(v, 2) for k, v in results.items()
+    }

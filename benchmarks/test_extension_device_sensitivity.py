@@ -1,0 +1,85 @@
+"""Extension experiment: NobLSM's gain vs the device's barrier cost.
+
+Not in the paper, but implied by its conclusion ("there are studies
+integrating LSM-trees with SSDs... promising areas we can explore"):
+NobLSM removes flush barriers and blocking writeback from the critical
+path, so its advantage over LevelDB should *grow* as syncs get more
+expensive. We sweep the device's FLUSH cost from PM883-like to
+HDD-like and report the fillrandom reduction at each point.
+"""
+
+from dataclasses import replace
+
+from conftest import bench_scale, write_result
+
+from repro.bench.harness import ScaledConfig
+from repro.bench.report import format_table
+from repro.bench.workloads import ValueGenerator, fillrandom_indices, make_key
+from repro.baselines.registry import make_store
+from repro.fs.jbd2 import JournalConfig
+from repro.fs.stack import StackConfig, StorageStack
+from repro.sim.clock import micros, seconds
+from repro.sim.latency import GIB, PM883
+
+FLUSH_COSTS_US = (300, 900, 4000, 15000)  # paper device is ~900 us
+
+
+def run_store(store_name, flush_us, scale):
+    config = ScaledConfig(scale=scale, value_size=1024)
+    device = replace(
+        PM883,
+        name=f"flush-{flush_us}us",
+        flush_ns=micros(flush_us),
+        barrier_extra_ns=micros(flush_us) // 10,
+    ).time_compressed(scale)
+    stack = StorageStack(
+        StackConfig(
+            device=device,
+            pagecache_bytes=max(
+                int(16 * GIB / scale), 30 * config.dataset_bytes()
+            ),
+            writeback_interval_ns=max(int(seconds(1.0) / scale), 1000),
+            journal=JournalConfig(
+                commit_interval_ns=max(int(seconds(5.0) / scale), 1000)
+            ),
+        )
+    )
+    db = make_store(store_name, stack, options=config.build_options())
+    values = ValueGenerator(config.value_size, seed=config.seed)
+    t = 0
+    for index in fillrandom_indices(config.num_ops, config.seed):
+        t = db.put(make_key(index), values.next(), at=t)
+    return t / 1000 / config.num_ops
+
+
+def sweep(scale):
+    rows = {}
+    for flush_us in FLUSH_COSTS_US:
+        leveldb = run_store("leveldb", flush_us, scale)
+        noblsm = run_store("noblsm", flush_us, scale)
+        rows[flush_us] = (leveldb, noblsm, 1 - noblsm / leveldb)
+    return rows
+
+
+def test_extension_device_sensitivity(benchmark, record_result):
+    scale = bench_scale(1000.0)
+    rows = benchmark.pedantic(sweep, args=(scale,), rounds=1, iterations=1)
+    record_result(
+        "extension_device_sensitivity",
+        format_table(
+            "Extension: NobLSM's fillrandom gain vs device FLUSH cost",
+            ["flush (us)", "leveldb us/op", "noblsm us/op", "reduction"],
+            [
+                [f, round(l, 2), round(n, 2), f"{r:.0%}"]
+                for f, (l, n, r) in rows.items()
+            ],
+        ),
+    )
+    reductions = [r for _, _, r in rows.values()]
+    # NobLSM always wins...
+    assert all(r > 0 for r in reductions)
+    # ...and its advantage grows with the barrier cost
+    assert reductions[-1] > reductions[0]
+    benchmark.extra_info["reductions"] = {
+        f"{f}us": f"{r:.0%}" for f, (_, _, r) in rows.items()
+    }

@@ -1,0 +1,71 @@
+"""Extension experiment: client-thread scaling (beyond Figure 5b).
+
+The paper only contrasts one and four threads. This sweep runs YCSB
+Load-A (write-only) and C (read-only) at 1/2/4/8 client threads and
+checks the two mechanisms Figure 5b's analysis rests on:
+
+- writes serialize on the single writer queue — thread count buys
+  nothing on Load-A, for every store;
+- cache-resident reads have no shared lock — workload C scales
+  near-linearly until the op stream runs out.
+"""
+
+from conftest import bench_scale, write_result
+
+from repro.bench.harness import ScaledConfig
+from repro.bench.report import format_table
+from repro.bench.ycsb import run_ycsb_suite
+
+THREADS = (1, 2, 4, 8)
+
+
+def sweep(scale):
+    rows = {}
+    for store in ("leveldb", "noblsm"):
+        for threads in THREADS:
+            config = ScaledConfig(scale=scale, value_size=1024, threads=threads)
+            results = run_ycsb_suite(
+                store, config, workloads=["load-a", "c"]
+            )
+            rows[(store, threads)] = (
+                results["load-a"].us_per_op,
+                results["c"].us_per_op,
+            )
+    return rows
+
+
+def test_extension_thread_scaling(benchmark, record_result):
+    scale = bench_scale(4000.0)
+    rows = benchmark.pedantic(sweep, args=(scale,), rounds=1, iterations=1)
+    record_result(
+        "extension_thread_scaling",
+        format_table(
+            "Extension: YCSB us/op vs client threads",
+            ["store", "threads", "load-a us/op", "c us/op"],
+            [
+                [store, threads, round(load, 3), round(read, 3)]
+                for (store, threads), (load, read) in rows.items()
+            ],
+        ),
+    )
+    for store in ("leveldb", "noblsm"):
+        load_1 = rows[(store, 1)][0]
+        load_8 = rows[(store, 8)][0]
+        # writes serialize: 8 threads gain under 25%
+        assert load_8 > 0.75 * load_1, (
+            f"{store}: loads should not scale with threads "
+            f"({load_1:.2f} -> {load_8:.2f})"
+        )
+        read_1 = rows[(store, 1)][1]
+        read_4 = rows[(store, 4)][1]
+        # reads scale: 4 threads at least halve time/op
+        assert read_4 < 0.6 * read_1, (
+            f"{store}: reads should scale with threads "
+            f"({read_1:.2f} -> {read_4:.2f})"
+        )
+    # NobLSM keeps its write advantage at every thread count
+    for threads in THREADS:
+        assert rows[("noblsm", threads)][0] < rows[("leveldb", threads)][0]
+    benchmark.extra_info["load_a"] = {
+        f"{s}x{n}": round(v[0], 2) for (s, n), v in rows.items()
+    }

@@ -1,0 +1,48 @@
+"""Figure 2a: the cost of syncs on the SSD (Async vs Direct vs Sync).
+
+Paper anchors (4 GB / 8 GB in 2 MB files on the PM883):
+Async 0.83 / 1.72 s, Direct 8.18 / 16.42 s, Sync 10.06 / 22.44 s —
+a 9.5x Async-to-Direct jump, +36.7% Direct-to-Sync, 13.0x overall.
+"""
+
+from conftest import write_result
+
+from repro.bench.figures import fig2a
+from repro.bench.report import format_table
+from repro.sim.latency import GIB
+
+
+def _render_from(data):
+    sizes = sorted(next(iter(data.values())))
+    rows = [
+        [strategy.capitalize()] + [round(data[strategy][s], 2) for s in sizes]
+        for strategy in ("async", "direct", "sync")
+    ]
+    header = ["strategy"] + [f"{s // GIB}GB" for s in sizes]
+    return format_table(
+        "Figure 2a: execution time (s) of Async, Direct and Sync writing",
+        header,
+        rows,
+    )
+
+
+def test_fig2a_sync_cost(benchmark, record_result):
+    data = benchmark.pedantic(fig2a, rounds=1, iterations=1)
+    record_result("fig2a_sync_cost", _render_from(data))
+
+    for size in (4 * GIB, 8 * GIB):
+        async_s = data["async"][size]
+        direct_s = data["direct"][size]
+        sync_s = data["sync"][size]
+        # shape: Async << Direct < Sync
+        assert async_s < direct_s < sync_s
+        # magnitude: the paper reports ~9.5x and ~13.0x
+        assert 6.0 < direct_s / async_s < 15.0
+        assert 9.0 < sync_s / async_s < 20.0
+        # sync penalty over direct is tens of percent, not integer factors
+        assert 1.05 < sync_s / direct_s < 1.8
+
+    benchmark.extra_info["async_4gb_s"] = round(data["async"][4 * GIB], 3)
+    benchmark.extra_info["direct_4gb_s"] = round(data["direct"][4 * GIB], 3)
+    benchmark.extra_info["sync_4gb_s"] = round(data["sync"][4 * GIB], 3)
+    benchmark.extra_info["paper"] = "async 0.83s, direct 8.18s, sync 10.06s"

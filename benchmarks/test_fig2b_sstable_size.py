@@ -1,0 +1,62 @@
+"""Figure 2b: SSTable size and syncs vs execution time.
+
+Paper: fillrandom/overwrite of 10 M x 1 KB pairs. With 2 MB SSTables,
+disabling syncs cuts execution time by 53.2% / 51.4%; moving from 2 MB
+to 64 MB SSTables cuts the synced runs by 62.4% / 56.2%; yet even with
+64 MB tables syncs still cost 45.6% / 59.4% — "large SSTables alone
+cannot fully mitigate the cost of syncs".
+"""
+
+from conftest import bench_scale, write_result
+
+from repro.bench.figures import fig2b
+from repro.bench.report import format_table
+
+
+def _render_from(data):
+    rows = []
+    for workload in ("fillrand", "overwrt"):
+        for label in ("2MB", "64MB"):
+            rows.append(
+                [
+                    f"{workload} {label}",
+                    round(data[f"{workload}-{label}-sync"], 1),
+                    round(data[f"{workload}-{label}-nosync"], 1),
+                ]
+            )
+    return format_table(
+        "Figure 2b: paper-equivalent execution time (s), Sync vs No-Sync",
+        ["workload/table", "Sync", "No-Sync"],
+        rows,
+    )
+
+
+def test_fig2b_sstable_size_and_syncs(benchmark, record_result):
+    scale = bench_scale(1000.0)
+    data = benchmark.pedantic(
+        fig2b, args=(scale,), rounds=1, iterations=1
+    )
+    record_result("fig2b_sstable_size", _render_from(data))
+
+    for workload in ("fillrand", "overwrt"):
+        small_sync = data[f"{workload}-2MB-sync"]
+        small_nosync = data[f"{workload}-2MB-nosync"]
+        large_sync = data[f"{workload}-64MB-sync"]
+        large_nosync = data[f"{workload}-64MB-nosync"]
+        # removing syncs helps at both table sizes
+        assert small_nosync < small_sync
+        assert large_nosync < large_sync
+        # larger tables help the synced configuration substantially
+        assert large_sync < small_sync
+        # ... but even 64 MB tables leave a large sync penalty
+        reduction = 1 - large_nosync / large_sync
+        assert reduction > 0.25, (
+            f"{workload}: sync penalty at 64MB only {reduction:.0%}"
+        )
+
+    benchmark.extra_info["fillrand_2mb_sync_s"] = round(
+        data["fillrand-2MB-sync"], 3
+    )
+    benchmark.extra_info["paper"] = (
+        "fillrand 2MB: 601s sync vs 281s no-sync; 64MB: 226s vs 123s"
+    )

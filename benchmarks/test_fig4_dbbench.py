@@ -1,0 +1,90 @@
+"""Figure 4: db_bench across the seven stores and five value sizes.
+
+Paper shapes to reproduce:
+
+- 4a/4b (fillrandom/overwrite): NobLSM is the fastest consistency-
+  preserving store — up to 47.1% under LevelDB, roughly half of BoLT;
+- 4c (readseq): all stores within a few us/op of each other;
+- 4d (readrandom): NobLSM comparable-or-better (24.0% under LevelDB at
+  1 KB via cheaper seek compactions).
+"""
+
+from conftest import bench_scale, full_matrix, write_result
+
+from repro.baselines.registry import PAPER_STORES
+from repro.bench.figures import fig4
+from repro.bench.report import series_by_store
+
+
+def _render_from(series, workload, label):
+    sizes = sorted(next(iter(series.values())))
+    return series_by_store(
+        series, sizes, "value size (B)",
+        f"Figure {label}: {workload} time/op (us, virtual)",
+    )
+
+
+def _sizes():
+    return (256, 512, 1024, 2048, 4096) if full_matrix() else (256, 1024, 4096)
+
+
+def _stores():
+    return PAPER_STORES if full_matrix() else [
+        "leveldb", "bolt", "rocksdb", "pebblesdb", "noblsm",
+    ]
+
+
+def _run(workload):
+    return fig4(
+        workload,
+        stores=_stores(),
+        value_sizes=_sizes(),
+        scale=bench_scale(500.0),
+    )
+
+
+def test_fig4a_fillrandom(benchmark, record_result):
+    series = benchmark.pedantic(_run, args=("fillrandom",), rounds=1, iterations=1)
+    record_result("fig4a_fillrandom", _render_from(series, "fillrandom", "4a"))
+    for size in _sizes():
+        assert series["noblsm"][size] < series["leveldb"][size], (
+            f"NobLSM should beat LevelDB on fillrandom at {size}B"
+        )
+        assert series["noblsm"][size] < series["bolt"][size], (
+            f"NobLSM should beat BoLT on fillrandom at {size}B"
+        )
+    # the paper's headline: up to ~44-47% under LevelDB at 1-2 KB values
+    reduction = 1 - series["noblsm"][1024] / series["leveldb"][1024]
+    assert reduction > 0.25, f"NobLSM reduction only {reduction:.0%} at 1KB"
+    benchmark.extra_info["noblsm_vs_leveldb_1kb"] = f"-{reduction:.0%}"
+    benchmark.extra_info["paper"] = "-43.6% at 1KB, up to -47.1% at 2KB"
+
+
+def test_fig4b_overwrite(benchmark, record_result):
+    series = benchmark.pedantic(_run, args=("overwrite",), rounds=1, iterations=1)
+    record_result("fig4b_overwrite", _render_from(series, "overwrite", "4b"))
+    for size in _sizes():
+        assert series["noblsm"][size] < series["leveldb"][size]
+    reduction = 1 - series["noblsm"][4096] / series["leveldb"][4096]
+    assert reduction > 0.2
+    benchmark.extra_info["noblsm_vs_leveldb_4kb"] = f"-{reduction:.0%}"
+    benchmark.extra_info["paper"] = "overwrite: -47.5% at 4KB"
+
+
+def test_fig4c_readseq(benchmark, record_result):
+    series = benchmark.pedantic(_run, args=("readseq",), rounds=1, iterations=1)
+    record_result("fig4c_readseq", _render_from(series, "readseq", "4c"))
+    # readseq is cheap and close across stores (paper: 0-3 us/op)
+    for size in _sizes():
+        assert series["noblsm"][size] < 4 * series["leveldb"][size]
+        assert series["leveldb"][size] < 4 * series["noblsm"][size]
+    benchmark.extra_info["paper"] = "all stores within ~0-3 us/op"
+
+
+def test_fig4d_readrandom(benchmark, record_result):
+    series = benchmark.pedantic(_run, args=("readrandom",), rounds=1, iterations=1)
+    record_result("fig4d_readrandom", _render_from(series, "readrandom", "4d"))
+    # NobLSM comparable-or-better than LevelDB (paper: -24% at 1KB)
+    for size in _sizes():
+        assert series["noblsm"][size] <= 1.5 * series["leveldb"][size]
+    benchmark.extra_info["paper"] = "NobLSM -24.0% vs LevelDB at 1KB"

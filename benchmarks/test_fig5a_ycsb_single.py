@@ -1,0 +1,54 @@
+"""Figure 5a: YCSB with a single client thread.
+
+Paper: on the write-intensive phases NobLSM is 48.0% (Load-A), 50.1% (A),
+12.1% (F) and 49.4% (Load-E) under LevelDB, and on A it is 54.6% / 51.2%
+/ 57.9% / 64.9% / 67.5% under BoLT / L2SM / RocksDB / HyperLevelDB /
+PebblesDB. On read-intensive phases it is comparable or better.
+"""
+
+from conftest import bench_scale, full_matrix, write_result
+
+from repro.baselines.registry import PAPER_STORES
+from repro.bench.figures import fig5
+from repro.bench.report import series_by_store
+from repro.bench.ycsb import PAPER_ORDER
+
+WRITE_HEAVY = ("load-a", "a", "load-e")
+
+
+def _stores():
+    return PAPER_STORES if full_matrix() else ["leveldb", "bolt", "noblsm"]
+
+
+def test_fig5a_ycsb_single_thread(benchmark, record_result):
+    scale = bench_scale(2000.0)
+    series = benchmark.pedantic(
+        fig5,
+        args=(1,),
+        kwargs={"scale": scale, "stores": _stores()},
+        rounds=1,
+        iterations=1,
+    )
+    phases = [p for p in PAPER_ORDER if p in next(iter(series.values()))]
+    record_result(
+        "fig5a_ycsb_single",
+        series_by_store(series, phases, "workload",
+                        "Figure 5a: YCSB time/op (us, virtual), 1 thread"),
+    )
+
+    for phase in WRITE_HEAVY:
+        assert series["noblsm"][phase] < series["leveldb"][phase], (
+            f"NobLSM should beat LevelDB on write-heavy {phase}"
+        )
+        assert series["noblsm"][phase] < series["bolt"][phase], (
+            f"NobLSM should beat BoLT on write-heavy {phase}"
+        )
+
+    load_a_reduction = 1 - series["noblsm"]["load-a"] / series["leveldb"]["load-a"]
+    assert load_a_reduction > 0.2, f"Load-A reduction {load_a_reduction:.0%}"
+
+    # read-heavy C: comparable (within 2x either way)
+    assert series["noblsm"]["c"] < 2 * series["leveldb"]["c"]
+
+    benchmark.extra_info["load_a_reduction"] = f"-{load_a_reduction:.0%}"
+    benchmark.extra_info["paper"] = "Load-A -48.0%, A -50.1%, F -12.1%, Load-E -49.4%"

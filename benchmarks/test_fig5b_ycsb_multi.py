@@ -1,0 +1,49 @@
+"""Figure 5b: YCSB with four client threads.
+
+Paper: NobLSM stays 30.3% / 40.7% / 34.4% / 38.8% under LevelDB on
+Load-A / A / Load-E / F (LevelDB's single background thread limits all
+LevelDB-derived stores), and on the read-only workload C NobLSM's time
+is about *half* of LevelDB's — seek compactions without syncs don't
+stall the concurrent readers.
+"""
+
+from conftest import bench_scale, full_matrix, write_result
+
+from repro.baselines.registry import PAPER_STORES
+from repro.bench.figures import fig5
+from repro.bench.report import series_by_store
+from repro.bench.ycsb import PAPER_ORDER
+
+
+def _stores():
+    return PAPER_STORES if full_matrix() else ["leveldb", "rocksdb", "noblsm"]
+
+
+def test_fig5b_ycsb_four_threads(benchmark, record_result):
+    scale = bench_scale(2000.0)
+    series = benchmark.pedantic(
+        fig5,
+        args=(4,),
+        kwargs={"scale": scale, "stores": _stores()},
+        rounds=1,
+        iterations=1,
+    )
+    phases = [p for p in PAPER_ORDER if p in next(iter(series.values()))]
+    record_result(
+        "fig5b_ycsb_multi",
+        series_by_store(series, phases, "workload",
+                        "Figure 5b: YCSB time/op (us, virtual), 4 threads"),
+    )
+
+    # write-heavy: NobLSM still beats LevelDB under four threads
+    for phase in ("load-a", "a", "load-e"):
+        assert series["noblsm"][phase] < series["leveldb"][phase], (
+            f"NobLSM should beat LevelDB on {phase} with 4 threads"
+        )
+
+    # read-only C: NobLSM at least comparable (paper: about half)
+    assert series["noblsm"]["c"] <= 1.2 * series["leveldb"]["c"]
+
+    load_a_reduction = 1 - series["noblsm"]["load-a"] / series["leveldb"]["load-a"]
+    benchmark.extra_info["load_a_reduction"] = f"-{load_a_reduction:.0%}"
+    benchmark.extra_info["paper"] = "Load-A -30.3%, A -40.7%, C about half of LevelDB"

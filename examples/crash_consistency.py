@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The paper's consistency test (Section 5.2), as a runnable demo.
+
+The paper types ``halt -f -p -n`` during fillrandom to power off the
+machine without flushing dirty data, three times in a row, and checks
+that KV pairs stored in SSTables are intact while some pairs in the
+(unsynced) logs are broken. This script does the same against both
+LevelDB and NobLSM on the simulated stack.
+
+Run:  python examples/crash_consistency.py
+"""
+
+import random
+
+from repro import DB, NobLSM, Options, StorageStack
+from repro.fs.stack import StackConfig
+from repro.fs.jbd2 import JournalConfig
+from repro.sim.clock import millis
+
+
+def build(store_cls):
+    stack = StorageStack(
+        StackConfig(journal=JournalConfig(commit_interval_ns=millis(50)))
+    )
+    options = Options().scaled(4000)
+    options.reclaim_interval_ns = millis(50)
+    return stack, store_cls(stack, options=options)
+
+
+def run_trial(store_cls, rounds=3, ops_per_round=2000, seed=2022):
+    rng = random.Random(seed)
+    stack, db = build(store_cls)
+    expected = {}
+    t = 0
+    total_lost_wal = 0
+    for round_number in range(1, rounds + 1):
+        for _ in range(ops_per_round):
+            key = f"key{rng.randrange(4000):08d}".encode()
+            value = f"r{round_number}-{rng.randrange(10**9):09d}".encode() * 4
+            t = db.put(key, value, at=t)
+            expected[key] = value
+
+        # which keys only live in the memtable + unsynced WAL right now?
+        volatile = {
+            k
+            for k in expected
+            if db.mem.get(k) is not None
+            or (
+                db._pending_imm is not None
+                and db._pending_imm[0].get(k) is not None
+            )
+        }
+
+        stack.crash()  # halt -f -p -n
+        db = store_cls.__new__(store_cls)
+        db.__init__(stack, options=Options().scaled(4000))
+        t = stack.now
+
+        stale, lost_durable, lost_wal = 0, 0, 0
+        for key, value in sorted(expected.items()):
+            got, t = db.get(key, at=t)
+            if key in volatile:
+                if got != value:
+                    lost_wal += 1
+                    if got is None:
+                        del_value = expected.pop(key)
+                    else:
+                        expected[key] = got
+            else:
+                if got is None:
+                    lost_durable += 1
+                elif got != value:
+                    stale += 1
+        total_lost_wal += lost_wal
+        print(
+            f"  crash #{round_number}: {len(expected)} keys tracked, "
+            f"SSTable-resident lost={lost_durable} stale={stale}, "
+            f"log-tail pairs broken={lost_wal}"
+        )
+        assert lost_durable == 0, "durable data lost — consistency violated!"
+        assert stale == 0, "stale data returned — consistency violated!"
+    return total_lost_wal
+
+
+def main() -> None:
+    for name, cls in (("LevelDB", DB), ("NobLSM", NobLSM)):
+        print(f"{name}: three sudden power-offs during fillrandom")
+        broken = run_trial(cls)
+        print(
+            f"  => same conclusion as the paper: SSTable data intact, "
+            f"{broken} log-tail pairs broken across 3 crashes\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

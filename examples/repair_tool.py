@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Disaster recovery with RepairDB.
+
+Simulates the worst case LevelDB's repairer exists for: the MANIFEST and
+CURRENT files are destroyed. The normal open path cannot start, but
+``repair_db`` salvages every intact SSTable, converts the surviving WAL
+into a table, and rebuilds a fresh MANIFEST — after which the store
+opens and serves all durable data.
+
+Run:  python examples/repair_tool.py
+"""
+
+import random
+
+from repro import DB, Options, StorageStack
+from repro.lsm.filenames import current_file_name
+from repro.lsm.repair import repair_db
+
+
+def main() -> None:
+    stack = StorageStack()
+    options = Options().scaled(4000)
+    db = DB(stack, options=options)
+
+    rng = random.Random(7)
+    expected = {}
+    t = 0
+    for _ in range(3000):
+        key = f"key{rng.randrange(2000):06d}".encode()
+        value = f"value-{rng.randrange(10**9):09d}".encode() * 4
+        t = db.put(key, value, at=t)
+        expected[key] = value
+    t = db.close(t)
+    print(f"filled store: {len(expected)} live keys, "
+          f"{db.stats.minor_compactions} minor / "
+          f"{db.stats.major_compactions} major compactions")
+
+    # disaster: metadata wiped
+    for path in list(stack.fs.list_dir("db/")):
+        if "MANIFEST" in path or path.endswith("CURRENT"):
+            t = stack.fs.unlink(path, at=t)
+    print("destroyed MANIFEST and CURRENT")
+
+    result, t = repair_db(stack.fs, "db", Options().scaled(4000), at=t)
+    print(f"repair: {result}")
+
+    db = DB(stack, options=Options().scaled(4000))
+    missing = 0
+    for key, value in sorted(expected.items()):
+        got, t = db.get(key, at=t)
+        if got != value:
+            missing += 1
+    print(f"after repair + reopen: {len(expected) - missing}/{len(expected)} "
+          f"keys intact ({missing} lost)")
+    assert missing == 0, "repair lost data!"
+    print("all data recovered.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Consistent online backups with snapshots.
+
+A writer keeps updating the store while a backup job iterates a pinned
+snapshot. The backup must be a frozen, self-consistent image — no torn
+updates, no post-snapshot writes — even though compactions rewrite the
+tree underneath it.
+
+Run:  python examples/snapshot_backup.py
+"""
+
+import random
+
+from repro import NobLSM, Options, StorageStack
+
+
+def main() -> None:
+    stack = StorageStack()
+    db = NobLSM(stack, options=Options().scaled(4000))
+    rng = random.Random(11)
+
+    # generation 1: the state the backup should capture
+    t = 0
+    generation1 = {}
+    for i in range(2500):
+        key = f"acct{rng.randrange(1200):06d}".encode()
+        value = f"gen1-balance-{rng.randrange(10**6):06d}".encode() * 3
+        t = db.put(key, value, at=t)
+        generation1[key] = value
+    print(f"generation 1 written: {len(generation1)} accounts")
+
+    snapshot = db.get_snapshot()
+    print(f"backup snapshot pinned at sequence {snapshot.sequence}")
+
+    # generation 2 races with the backup
+    for i in range(2500):
+        key = f"acct{rng.randrange(1200):06d}".encode()
+        value = f"gen2-balance-{rng.randrange(10**6):06d}".encode() * 3
+        t = db.put(key, value, at=t)
+    t = db.compact_range(t)  # aggressive rewriting under the snapshot
+    print("generation 2 written and the whole tree manually compacted")
+
+    # the backup job reads through the snapshot
+    backup = {}
+    iterator = db.iterate(at=t, snapshot=snapshot)
+    while iterator.valid:
+        backup[iterator.key] = iterator.value
+        iterator.next()
+    t = max(t, iterator.time)
+
+    assert backup == generation1, "backup saw torn or post-snapshot data!"
+    print(f"backup captured {len(backup)} accounts — exactly generation 1")
+
+    db.release_snapshot(snapshot)
+    value, t = db.get(sorted(generation1)[0], at=t)
+    assert value.startswith((b"gen1", b"gen2"))
+    print("snapshot released; live reads see the newest generation")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Run a YCSB head-to-head between the seven stores (Figure 5a, scaled).
+
+Run:  python examples/ycsb_comparison.py [scale]
+
+The default scale (5000) keeps the whole comparison under ~2 minutes of
+host time; pass a smaller scale (e.g. 2000) for results closer to the
+paper's operating point.
+"""
+
+import sys
+
+from repro.baselines.registry import PAPER_STORES
+from repro.bench.harness import ScaledConfig
+from repro.bench.ycsb import PAPER_ORDER, run_ycsb_suite
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 5000.0
+    print(f"YCSB, single thread, scale={scale:g} "
+          f"(paper: 50M records loaded, 10M ops per phase)\n")
+    header = ["store".ljust(13)] + [p.rjust(8) for p in PAPER_ORDER]
+    print("  ".join(header) + "   (us/op, virtual)")
+    by_store = {}
+    for store in PAPER_STORES:
+        config = ScaledConfig(scale=scale, value_size=1024)
+        by_store[store] = run_ycsb_suite(store, config)
+        row = [store.ljust(13)] + [
+            f"{by_store[store][p].us_per_op:8.2f}" for p in PAPER_ORDER
+        ]
+        print("  ".join(row))
+    print()
+    baseline, nob = by_store["leveldb"], by_store["noblsm"]
+    for phase in ("load-a", "a", "f", "load-e"):
+        reduction = 1 - nob[phase].us_per_op / baseline[phase].us_per_op
+        print(f"NobLSM vs LevelDB on {phase:7s}: {reduction:+.1%} "
+              f"(paper: -48.0% / -50.1% / -12.1% / -49.4%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` needs bdist_wheel; this setup.py
+lets `python setup.py develop` install the package the legacy way.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""NobLSM reproduction (DAC 2022).
+
+A pure-Python, discrete-event reproduction of *NobLSM: An LSM-tree with
+Non-blocking Writes for SSDs*: a LevelDB-like LSM-tree and six competitor
+stores running on a simulated Ext4/JBD2/SSD stack in virtual time.
+
+Quick start::
+
+    from repro import StorageStack, NobLSM
+
+    stack = StorageStack()
+    db = NobLSM(stack)
+    t = db.put(b"key", b"value", at=0)
+    value, t = db.get(b"key", at=t)
+"""
+
+from repro.core.noblsm import NobLSM
+from repro.fs.stack import StackConfig, StorageStack
+from repro.lsm.db import DB, Snapshot
+from repro.lsm.options import Options
+from repro.lsm.write_batch import WriteBatch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NobLSM",
+    "DB",
+    "Options",
+    "StackConfig",
+    "StorageStack",
+    "Snapshot",
+    "WriteBatch",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Behavioural models of the stores the paper compares against.
+
+Each baseline keeps the shared LSM substrate and changes only what its
+real counterpart changes: the sync schedule, the compaction shape, or
+the parallelism. See DESIGN.md for the fidelity notes per store.
+"""
+
+from repro.baselines.bolt import BoLT
+from repro.baselines.hyperleveldb import HyperLevelDBLike
+from repro.baselines.l2sm import L2SMLike
+from repro.baselines.pebblesdb import PebblesDBLike
+from repro.baselines.registry import PAPER_STORES, STORE_CLASSES, make_store
+from repro.baselines.rocksdb import RocksDBLike
+from repro.baselines.volatile import VolatileLevelDB
+
+__all__ = [
+    "BoLT",
+    "HyperLevelDBLike",
+    "L2SMLike",
+    "PebblesDBLike",
+    "RocksDBLike",
+    "VolatileLevelDB",
+    "PAPER_STORES",
+    "STORE_CLASSES",
+    "make_store",
+]

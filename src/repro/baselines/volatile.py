@@ -1,0 +1,38 @@
+"""The 'volatile' LevelDB of Section 3: every sync disabled.
+
+It loses crash consistency entirely but marks the performance ceiling
+NobLSM tries to approach (the paper measures a 53.2 % execution-time
+reduction for fillrandom with 2 MB SSTables).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fs.stack import StorageStack
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+
+
+def volatile_options(base: Optional[Options] = None) -> Options:
+    options = base if base is not None else Options()
+    options.sync.sync_minor = False
+    options.sync.sync_major = False
+    options.sync.sync_manifest = False
+    options.sync.sync_wal = False
+    options.sync.nob_commit = False
+    return options
+
+
+class VolatileLevelDB(DB):
+    """LevelDB with all syncs removed (no consistency guarantee)."""
+
+    store_name = "volatile"
+
+    def __init__(
+        self,
+        stack: StorageStack,
+        dbname: str = "db",
+        options: Optional[Options] = None,
+    ) -> None:
+        super().__init__(stack, dbname, options=volatile_options(options))

@@ -1,0 +1,12 @@
+"""Benchmark harness reproducing the paper's evaluation.
+
+- :mod:`repro.bench.db_bench` — the four micro-benchmarks of Figure 4;
+- :mod:`repro.bench.ycsb` — the YCSB phases of Figure 5;
+- :mod:`repro.bench.rawio` — the Figure 2a sync-cost study;
+- :mod:`repro.bench.figures` — one entry point per table/figure;
+- :mod:`repro.bench.harness` — scaling model, result records, threads.
+"""
+
+from repro.bench.harness import BenchResult, ScaledConfig, ThreadedDriver
+
+__all__ = ["BenchResult", "ScaledConfig", "ThreadedDriver"]

@@ -1,0 +1,7 @@
+"""Run the benchmark CLI: ``python -m repro.bench <target>``."""
+
+import sys
+
+from repro.bench.cli import main
+
+sys.exit(main())

@@ -1,0 +1,125 @@
+"""Terminal plots for the figures (no plotting libraries offline).
+
+Two chart kinds match the paper's figures:
+
+- :func:`grouped_bars` — Figure 2b/5-style grouped bar charts;
+- :func:`line_series` — Figure 4-style series over value sizes, with an
+  optional log y-axis (the paper plots 4a/4b in log scale).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+BAR_WIDTH = 40
+GLYPHS = "#*+o@x%="
+
+
+def _scale(value: float, maximum: float, log: bool) -> float:
+    if value <= 0 or maximum <= 0:
+        return 0.0
+    if not log:
+        return value / maximum
+    # log scale anchored one decade below the smallest plotted value
+    return max(
+        0.0,
+        min(1.0, math.log10(value * 10 / maximum) / math.log10(10 * 10)),
+    )
+
+
+def grouped_bars(
+    title: str,
+    groups: Sequence[str],
+    series: Dict[str, Dict[str, float]],
+    unit: str = "",
+    log: bool = False,
+) -> str:
+    """One bar per (group, series) pair, labelled rows.
+
+    ``series`` maps series name -> {group label -> value}.
+    """
+    maximum = max(
+        (value for per_group in series.values() for value in per_group.values()),
+        default=1.0,
+    )
+    lines = [title]
+    name_width = max((len(name) for name in series), default=4)
+    for group in groups:
+        lines.append(f"{group}:")
+        for name, per_group in series.items():
+            value = per_group.get(group)
+            if value is None:
+                continue
+            filled = int(round(_scale(value, maximum, log) * BAR_WIDTH))
+            bar = "#" * max(filled, 1 if value > 0 else 0)
+            lines.append(
+                f"  {name.ljust(name_width)} |{bar.ljust(BAR_WIDTH)}| "
+                f"{value:10.3f} {unit}"
+            )
+    if log:
+        lines.append(f"(bar lengths are log-scaled; max = {maximum:.3f} {unit})")
+    return "\n".join(lines)
+
+
+def line_series(
+    title: str,
+    x_values: Sequence[float],
+    series: Dict[str, Dict[float, float]],
+    x_label: str = "",
+    unit: str = "",
+    log: bool = False,
+    height: int = 12,
+) -> str:
+    """A character plot of several series over shared x values."""
+    points = [
+        value
+        for per_x in series.values()
+        for value in per_x.values()
+        if value > 0
+    ]
+    if not points:
+        return title + "\n(no data)"
+    maximum = max(points)
+    minimum = min(points)
+    if log:
+        lo, hi = math.log10(minimum), math.log10(maximum)
+    else:
+        lo, hi = 0.0, maximum
+    if hi <= lo:
+        hi = lo + 1.0
+
+    def row_of(value: float) -> int:
+        position = (math.log10(value) if log else value)
+        fraction = (position - lo) / (hi - lo)
+        return min(height - 1, max(0, int(round(fraction * (height - 1)))))
+
+    columns = len(x_values)
+    col_width = 6
+    grid = [[" " for _ in range(columns * col_width)] for _ in range(height)]
+    legend = []
+    for index, (name, per_x) in enumerate(series.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for column, x in enumerate(x_values):
+            value = per_x.get(x)
+            if value is None or value <= 0:
+                continue
+            row = height - 1 - row_of(value)
+            position = column * col_width + col_width // 2
+            if grid[row][position] == " ":
+                grid[row][position] = glyph
+            else:
+                grid[row][position] = "&"  # overlapping series
+    lines = [title]
+    scale_note = "log " if log else ""
+    lines.append(f"{unit} ({scale_note}scale), max={maximum:.3f}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    axis = ""
+    for x in x_values:
+        axis += str(x).rjust(col_width)
+    lines.append("+" + "-" * (columns * col_width))
+    lines.append(" " + axis + f"   {x_label}")
+    lines.append("legend: " + "  ".join(legend) + "   (&: overlap)")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Command-line entry point: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro.bench fig2a
+    python -m repro.bench fig2b  [--scale 500]
+    python -m repro.bench fig4a  [--scale 500] [--stores leveldb,noblsm]
+    python -m repro.bench fig4b | fig4c | fig4d
+    python -m repro.bench table1 [--scale 500]
+    python -m repro.bench fig5a  [--scale 2000]
+    python -m repro.bench fig5b  [--scale 2000]
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import figures
+
+_FIG4 = {
+    "fig4a": "fillrandom",
+    "fig4b": "overwrite",
+    "fig4c": "readseq",
+    "fig4d": "readrandom",
+}
+
+
+def _render(
+    target: str,
+    scale: Optional[float],
+    stores: Optional[List[str]],
+    chart: bool = False,
+) -> str:
+    kwargs = {}
+    if stores:
+        kwargs["stores"] = stores
+    if target == "fig2a":
+        return figures.render_fig2a()
+    if target == "fig2b":
+        return figures.render_fig2b(scale or figures.DEFAULT_SCALE)
+    if target in _FIG4:
+        workload = _FIG4[target]
+        if chart:
+            from repro.bench.ascii_plot import line_series
+
+            series = figures.fig4(
+                workload, scale=scale or figures.DEFAULT_SCALE, **kwargs
+            )
+            sizes = sorted(next(iter(series.values())))
+            return line_series(
+                f"Figure {target[-2:]}: {workload}",
+                sizes,
+                series,
+                x_label="value size (B)",
+                unit="us/op",
+                log=workload in ("fillrandom", "overwrite"),
+            )
+        return figures.render_fig4(
+            workload, scale=scale or figures.DEFAULT_SCALE, **kwargs
+        )
+    if target == "table1":
+        return figures.render_table1(scale or figures.DEFAULT_SCALE)
+    if target in ("fig5a", "fig5b"):
+        threads = 1 if target == "fig5a" else 4
+        if chart:
+            from repro.bench.ascii_plot import grouped_bars
+            from repro.bench.ycsb import PAPER_ORDER
+
+            series = figures.fig5(threads, scale=scale or 2000.0, **kwargs)
+            phases = [p for p in PAPER_ORDER if p in next(iter(series.values()))]
+            return grouped_bars(
+                f"Figure {target[-2:]}: YCSB, {threads} thread(s)",
+                phases,
+                series,
+                unit="us/op",
+            )
+        return figures.render_fig5(threads, scale=scale or 2000.0, **kwargs)
+    raise ValueError(f"unknown target {target!r}")
+
+
+ALL_TARGETS = ["fig2a", "fig2b", "fig4a", "fig4b", "fig4c", "fig4d",
+               "table1", "fig5a", "fig5b"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the NobLSM paper's tables and figures.",
+    )
+    parser.add_argument("target", choices=ALL_TARGETS + ["all"])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="scale factor (paper setup / N); default per target",
+    )
+    parser.add_argument(
+        "--stores",
+        type=str,
+        default=None,
+        help="comma-separated store subset (default: the paper's seven)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render an ASCII chart instead of a table (fig4*/fig5*)",
+    )
+    args = parser.parse_args(argv)
+    stores = args.stores.split(",") if args.stores else None
+    targets = ALL_TARGETS if args.target == "all" else [args.target]
+    for target in targets:
+        print(_render(target, args.scale, stores, chart=args.chart))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

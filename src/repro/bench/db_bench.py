@@ -1,0 +1,252 @@
+"""db_bench micro-benchmarks (paper Section 5.2).
+
+The four workloads of Figure 4, each issuing ``num_ops`` requests with
+16-byte keys and a configurable value size:
+
+- ``fillrandom``  — random puts over a fresh store;
+- ``overwrite``   — random puts over an already-filled store;
+- ``readseq``     — one sequential iteration over every KV pair;
+- ``readrandom``  — random point lookups.
+
+Plus the rest of LevelDB's standard db_bench set (not in the paper's
+figures, useful for regression comparisons):
+
+- ``fillseq``      — sequential puts (compaction-light);
+- ``readmissing``  — random lookups of absent keys (bloom-filter path);
+- ``seekrandom``   — random iterator seeks;
+- ``deleterandom`` — random deletes over a filled store.
+
+Each run reports the average execution time per operation in virtual
+microseconds, the metric the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.bench.harness import BenchResult, ScaledConfig, collect_result
+from repro.bench.workloads import (
+    ValueGenerator,
+    fillrandom_indices,
+    fillseq_indices,
+    make_key,
+    readrandom_indices,
+)
+from repro.fs.stack import StorageStack
+from repro.lsm.db import DB
+
+
+def _fill(db: DB, config: ScaledConfig, seed_offset: int, at: int) -> int:
+    values = ValueGenerator(config.value_size, seed=config.seed + seed_offset)
+    t = at
+    for index in fillrandom_indices(config.num_ops, config.seed + seed_offset):
+        t = db.put(make_key(index, config.key_size), values.next(), at=t)
+    return t
+
+
+def run_fillrandom(
+    store_name: str, config: ScaledConfig
+) -> Tuple[BenchResult, StorageStack, DB]:
+    """Random writes into a fresh store."""
+    stack, db = config.build_store(store_name)
+    start = stack.now
+    end = _fill(db, config, seed_offset=0, at=start)
+    result = collect_result(
+        store_name, "fillrandom", config, stack, db, start, end, config.num_ops
+    )
+    return result, stack, db
+
+
+def run_overwrite(
+    store_name: str, config: ScaledConfig
+) -> Tuple[BenchResult, StorageStack, DB]:
+    """Random updates over an existing data set (fill first, then measure)."""
+    stack, db = config.build_store(store_name)
+    t = _fill(db, config, seed_offset=0, at=stack.now)
+    t = db.wait_for_background(t)
+    stack.sync_stats.reset()
+    stack.ssd.stats.reset()
+    db.stats.stall_ns = 0
+    start = t
+    end = _fill(db, config, seed_offset=1, at=start)
+    result = collect_result(
+        store_name, "overwrite", config, stack, db, start, end, config.num_ops
+    )
+    return result, stack, db
+
+
+def run_readseq(
+    store_name: str,
+    config: ScaledConfig,
+    prepared: Optional[Tuple[StorageStack, DB, int]] = None,
+) -> Tuple[BenchResult, StorageStack, DB]:
+    """Sequential iteration over all pairs (after a fill)."""
+    if prepared is None:
+        stack, db = config.build_store(store_name)
+        t = _fill(db, config, seed_offset=0, at=stack.now)
+        t = db.wait_for_background(t)
+    else:
+        stack, db, t = prepared
+    start = t
+    iterator = db.iterate(at=start)
+    count = 0
+    while iterator.valid:
+        count += 1
+        iterator.next()
+    end = max(iterator.time, start)
+    result = collect_result(
+        store_name, "readseq", config, stack, db, start, end, max(count, 1)
+    )
+    return result, stack, db
+
+
+def run_readrandom(
+    store_name: str,
+    config: ScaledConfig,
+    prepared: Optional[Tuple[StorageStack, DB, int]] = None,
+) -> Tuple[BenchResult, StorageStack, DB]:
+    """Random point lookups (after a fill)."""
+    if prepared is None:
+        stack, db = config.build_store(store_name)
+        t = _fill(db, config, seed_offset=0, at=stack.now)
+        t = db.wait_for_background(t)
+    else:
+        stack, db, t = prepared
+    start = t
+    num_reads = config.num_ops
+    for index in readrandom_indices(num_reads, config.num_ops, config.seed + 7):
+        _, t = db.get(make_key(index, config.key_size), at=t)
+    end = t
+    result = collect_result(
+        store_name, "readrandom", config, stack, db, start, end, num_reads
+    )
+    return result, stack, db
+
+
+def run_fillseq(
+    store_name: str, config: ScaledConfig
+) -> Tuple[BenchResult, StorageStack, DB]:
+    """Sequential writes into a fresh store (minimal compaction churn)."""
+    stack, db = config.build_store(store_name)
+    values = ValueGenerator(config.value_size, seed=config.seed)
+    start = stack.now
+    t = start
+    for index in fillseq_indices(config.num_ops):
+        t = db.put(make_key(index, config.key_size), values.next(), at=t)
+    result = collect_result(
+        store_name, "fillseq", config, stack, db, start, t, config.num_ops
+    )
+    return result, stack, db
+
+
+def run_readmissing(
+    store_name: str,
+    config: ScaledConfig,
+    prepared: Optional[Tuple[StorageStack, DB, int]] = None,
+) -> Tuple[BenchResult, StorageStack, DB]:
+    """Random lookups of keys that were never written (bloom-filter path)."""
+    if prepared is None:
+        stack, db = config.build_store(store_name)
+        t = _fill(db, config, seed_offset=0, at=stack.now)
+        t = db.wait_for_background(t)
+    else:
+        stack, db, t = prepared
+    start = t
+    for index in readrandom_indices(config.num_ops, config.num_ops, config.seed + 11):
+        missing = b"@" + make_key(index, config.key_size - 1)
+        _, t = db.get(missing, at=t)
+    result = collect_result(
+        store_name, "readmissing", config, stack, db, start, t, config.num_ops
+    )
+    return result, stack, db
+
+
+def run_seekrandom(
+    store_name: str,
+    config: ScaledConfig,
+    prepared: Optional[Tuple[StorageStack, DB, int]] = None,
+) -> Tuple[BenchResult, StorageStack, DB]:
+    """Random iterator seeks (positions + reads one entry)."""
+    if prepared is None:
+        stack, db = config.build_store(store_name)
+        t = _fill(db, config, seed_offset=0, at=stack.now)
+        t = db.wait_for_background(t)
+    else:
+        stack, db, t = prepared
+    start = t
+    num_seeks = max(config.num_ops // 10, 100)
+    for index in readrandom_indices(num_seeks, config.num_ops, config.seed + 13):
+        pairs, t = db.scan(make_key(index, config.key_size), 1, at=t)
+    result = collect_result(
+        store_name, "seekrandom", config, stack, db, start, t, num_seeks
+    )
+    return result, stack, db
+
+
+def run_deleterandom(
+    store_name: str, config: ScaledConfig
+) -> Tuple[BenchResult, StorageStack, DB]:
+    """Random deletes over a filled store."""
+    stack, db = config.build_store(store_name)
+    t = _fill(db, config, seed_offset=0, at=stack.now)
+    t = db.wait_for_background(t)
+    stack.sync_stats.reset()
+    stack.ssd.stats.reset()
+    start = t
+    for index in readrandom_indices(config.num_ops, config.num_ops, config.seed + 17):
+        t = db.delete(make_key(index, config.key_size), at=t)
+    result = collect_result(
+        store_name, "deleterandom", config, stack, db, start, t, config.num_ops
+    )
+    return result, stack, db
+
+
+WORKLOADS = {
+    "fillrandom": run_fillrandom,
+    "overwrite": run_overwrite,
+    "readseq": run_readseq,
+    "readrandom": run_readrandom,
+    "fillseq": run_fillseq,
+    "readmissing": run_readmissing,
+    "seekrandom": run_seekrandom,
+    "deleterandom": run_deleterandom,
+}
+
+
+def run_workload(
+    workload: str, store_name: str, config: ScaledConfig
+) -> BenchResult:
+    """Run one db_bench workload; returns its result record."""
+    try:
+        runner = WORKLOADS[workload]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise ValueError(f"unknown workload {workload!r}; known: {known}") from None
+    result, _, _ = runner(store_name, config)
+    return result
+
+
+def run_matrix(
+    stores: "list[str]",
+    workloads: "list[str]",
+    config: ScaledConfig,
+) -> Dict[Tuple[str, str], BenchResult]:
+    """Full (store x workload) sweep with a shared fill for read workloads."""
+    results: Dict[Tuple[str, str], BenchResult] = {}
+    for store_name in stores:
+        prepared = None
+        for workload in workloads:
+            if workload in ("readseq", "readrandom"):
+                if prepared is None:
+                    stack, db = config.build_store(store_name)
+                    t = _fill(db, config, seed_offset=0, at=stack.now)
+                    t = db.wait_for_background(t)
+                    prepared = (stack, db, t)
+                runner = WORKLOADS[workload]
+                result, stack, db = runner(store_name, config, prepared=prepared)
+                # the next read workload starts where this one finished
+                prepared = (stack, db, prepared[2] + result.virtual_ns)
+            else:
+                result = run_workload(workload, store_name, config)
+            results[(store_name, workload)] = result
+    return results

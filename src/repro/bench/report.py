@@ -1,0 +1,50 @@
+"""Plain-text rendering of benchmark results (the paper's rows/series)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    title: str,
+    header: Sequence[str],
+    rows: List[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title line."""
+    columns = len(header)
+    widths = [len(str(h)) for h in header]
+    rendered_rows = []
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, header has {columns}: {row!r}"
+            )
+        cells = [
+            f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        rendered_rows.append(cells)
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+        )
+    return "\n".join(lines)
+
+
+def series_by_store(
+    results: Dict[str, Dict[object, float]],
+    x_values: Sequence[object],
+    x_label: str,
+    title: str,
+) -> str:
+    """One row per store, one column per x value (a figure's series)."""
+    header = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for store, series in results.items():
+        rows.append([store] + [round(series.get(x, float("nan")), 3) for x in x_values])
+    return format_table(title, header, rows)

@@ -1,0 +1,62 @@
+"""Key and value generation, mirroring LevelDB's db_bench."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+
+def make_key(index: int, key_size: int = 16) -> bytes:
+    """db_bench-style key: zero-padded decimal, fixed width."""
+    return f"{index:0{key_size}d}".encode()[:key_size]
+
+
+class ValueGenerator:
+    """Compressible-ish pseudo-random values, deterministic per seed.
+
+    db_bench generates values from a recycled random pool; we keep a pool
+    of fragments and stitch them, so value bytes differ between keys but
+    generation stays cheap.
+    """
+
+    def __init__(self, value_size: int, seed: int = 99) -> None:
+        if value_size <= 0:
+            raise ValueError(f"value_size must be positive, got {value_size}")
+        self.value_size = value_size
+        rng = random.Random(seed)
+        self._pool = [
+            bytes(rng.randrange(32, 127) for _ in range(64)) for _ in range(32)
+        ]
+        self._counter = 0
+
+    def next(self) -> bytes:
+        self._counter += 1
+        parts: List[bytes] = []
+        remaining = self.value_size
+        index = self._counter
+        while remaining > 0:
+            fragment = self._pool[index % len(self._pool)]
+            parts.append(fragment[: min(64, remaining)])
+            remaining -= 64
+            index += 1
+        value = b"".join(parts)
+        # stamp the counter so every value is unique (overwrite checks)
+        stamp = str(self._counter).encode()
+        return stamp + value[len(stamp):]
+
+
+def fillrandom_indices(num_ops: int, seed: int) -> Iterator[int]:
+    """db_bench fillrandom: uniform keys over [0, num_ops)."""
+    rng = random.Random(seed)
+    for _ in range(num_ops):
+        yield rng.randrange(num_ops)
+
+
+def fillseq_indices(num_ops: int) -> Iterator[int]:
+    return iter(range(num_ops))
+
+
+def readrandom_indices(num_ops: int, key_space: int, seed: int) -> Iterator[int]:
+    rng = random.Random(seed)
+    for _ in range(num_ops):
+        yield rng.randrange(key_space)

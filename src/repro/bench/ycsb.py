@@ -1,0 +1,222 @@
+"""YCSB macro-benchmark (paper Section 5.3).
+
+The paper runs the workloads in the order Load-A, A, B, C, F, D, Load-E,
+E (as BoLT and PebblesDB do). Load phases clear the data set and insert
+``record_count`` 1 KB records; each run phase issues ``operation_count``
+requests with the standard YCSB mixes:
+
+======== ======================================== ==============
+workload mix                                      distribution
+======== ======================================== ==============
+A        50% update / 50% read                    zipfian
+B        5% update / 95% read                     zipfian
+C        100% read                                zipfian
+D        5% insert / 95% read                     latest
+E        5% insert / 95% scan (len <= 100)        zipfian
+F        50% read-modify-write / 50% read         zipfian
+======== ======================================== ==============
+
+Multi-threaded runs split the same total operation count over K client
+threads driven by :class:`repro.bench.harness.ThreadedDriver`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.harness import BenchResult, ScaledConfig, collect_result
+from repro.bench.workloads import ValueGenerator
+from repro.bench.zipf import Latest, ScrambledZipfian
+from repro.fs.stack import StorageStack
+from repro.lsm.db import DB
+
+#: the paper's execution order
+PAPER_ORDER = ["load-a", "a", "b", "c", "f", "d", "load-e", "e"]
+
+MAX_SCAN_LENGTH = 100
+
+
+def ycsb_key(index: int) -> bytes:
+    return f"user{index:012d}".encode()
+
+
+class YCSBWorkload:
+    """Generates the operation stream for one workload phase."""
+
+    def __init__(
+        self,
+        name: str,
+        record_count: int,
+        operation_count: int,
+        value_size: int,
+        seed: int,
+    ) -> None:
+        self.name = name.lower()
+        self.record_count = record_count
+        self.operation_count = operation_count
+        self.values = ValueGenerator(value_size, seed=seed)
+        self._rng = random.Random(seed)
+        if self.name in ("load-a", "load-e"):
+            self._inserted = 0  # loads insert user0 .. user{N-1}
+            self._chooser = None
+        elif self.name == "d":
+            self._inserted = record_count
+            self._chooser = Latest(max(record_count, 1), seed=seed + 1)
+        else:
+            self._inserted = record_count
+            self._chooser = ScrambledZipfian(max(record_count, 1), seed=seed + 1)
+        self._scan_rng = random.Random(seed + 2)
+
+    # mix fractions: (read, update, insert, scan, rmw)
+    _MIXES: Dict[str, Tuple[float, float, float, float, float]] = {
+        "a": (0.50, 0.50, 0.00, 0.00, 0.00),
+        "b": (0.95, 0.05, 0.00, 0.00, 0.00),
+        "c": (1.00, 0.00, 0.00, 0.00, 0.00),
+        "d": (0.95, 0.00, 0.05, 0.00, 0.00),
+        "e": (0.00, 0.00, 0.05, 0.95, 0.00),
+        "f": (0.50, 0.00, 0.00, 0.00, 0.50),
+    }
+
+    def operations(self) -> List[Callable[[DB, int], int]]:
+        """The phase's operation closures, each ``(db, at) -> completion``."""
+        if self._chooser is None:
+            return [self._insert_op() for _ in range(self.record_count)]
+        read_f, update_f, insert_f, scan_f, rmw_f = self._MIXES[self.name]
+        ops: List[Callable[[DB, int], int]] = []
+        for _ in range(self.operation_count):
+            roll = self._rng.random()
+            if roll < read_f:
+                ops.append(self._read_op())
+            elif roll < read_f + update_f:
+                ops.append(self._update_op())
+            elif roll < read_f + update_f + insert_f:
+                ops.append(self._insert_op())
+            elif roll < read_f + update_f + insert_f + scan_f:
+                ops.append(self._scan_op())
+            else:
+                ops.append(self._rmw_op())
+        return ops
+
+    def _next_key(self) -> bytes:
+        index = self._chooser.next()
+        return ycsb_key(index % max(self._inserted, 1))
+
+    def _read_op(self) -> Callable[[DB, int], int]:
+        key = self._next_key()
+
+        def op(db: DB, at: int) -> int:
+            _, t = db.get(key, at)
+            return t
+
+        return op
+
+    def _update_op(self) -> Callable[[DB, int], int]:
+        key = self._next_key()
+        value = self.values.next()
+
+        def op(db: DB, at: int) -> int:
+            return db.put(key, value, at)
+
+        return op
+
+    def _insert_op(self) -> Callable[[DB, int], int]:
+        key = ycsb_key(self._inserted)
+        self._inserted += 1
+        if isinstance(self._chooser, Latest):
+            self._chooser.set_count(self._inserted)
+        value = self.values.next()
+
+        def op(db: DB, at: int) -> int:
+            return db.put(key, value, at)
+
+        return op
+
+    def _scan_op(self) -> Callable[[DB, int], int]:
+        key = self._next_key()
+        length = self._scan_rng.randrange(1, MAX_SCAN_LENGTH + 1)
+
+        def op(db: DB, at: int) -> int:
+            _, t = db.scan(key, length, at)
+            return t
+
+        return op
+
+    def _rmw_op(self) -> Callable[[DB, int], int]:
+        key = self._next_key()
+        value = self.values.next()
+
+        def op(db: DB, at: int) -> int:
+            _, t = db.get(key, at)
+            return db.put(key, value, t)
+
+        return op
+
+
+#: idle time between phases in paper-seconds (the YCSB client restarts
+#: between load/run invocations; background compactions keep running)
+PHASE_GAP_PAPER_SECONDS = 30.0
+
+
+def run_ycsb_suite(
+    store_name: str,
+    config: ScaledConfig,
+    workloads: Optional[List[str]] = None,
+    record_count: Optional[int] = None,
+    operation_count: Optional[int] = None,
+    phase_gap_s: float = PHASE_GAP_PAPER_SECONDS,
+) -> Dict[str, BenchResult]:
+    """Run the YCSB phases in the paper's order on one store.
+
+    Load phases rebuild the store from scratch (fresh stack) as the
+    paper does ("Load-A and Load-E clear data sets and then fill up").
+    Between phases the client is idle for ``phase_gap_s`` paper-seconds
+    (scaled), during which background compactions proceed — as they do
+    while the real YCSB client restarts for the next phase.
+    Returns one :class:`BenchResult` per phase.
+    """
+    workloads = [w.lower() for w in (workloads or PAPER_ORDER)]
+    # paper: 50 M records loaded, 10 M requests per phase; scale both
+    records = record_count or max(int(50_000_000 / config.scale), 100)
+    operations = operation_count or max(int(10_000_000 / config.scale), 100)
+    results: Dict[str, BenchResult] = {}
+    stack: Optional[StorageStack] = None
+    db: Optional[DB] = None
+    t = 0
+    seed = config.seed
+    for phase in workloads:
+        seed += 1
+        if phase.startswith("load") or db is None:
+            stack, db = config.build_store(store_name)
+            t = stack.now
+        workload = YCSBWorkload(
+            phase,
+            record_count=records,
+            operation_count=operations,
+            value_size=config.value_size,
+            seed=seed,
+        )
+        ops = workload.operations()
+        stack.sync_stats.reset()
+        stack.ssd.stats.reset()
+        start = t
+        if config.threads <= 1:
+            for op in ops:
+                t = op(db, t)
+        else:
+            from repro.bench.harness import ThreadedDriver
+
+            driver = ThreadedDriver(db, config.threads, start=t)
+            t = driver.run(ops)
+        results[phase] = collect_result(
+            store_name, phase, config, stack, db, start, t, len(ops)
+        )
+        if phase.startswith("load"):
+            # records now present for the following run phases
+            records = workload._inserted
+        # idle gap before the next phase: background work catches up
+        gap = int(phase_gap_s * 1e9 / config.scale)
+        t += gap
+        stack.events.run_until(t)
+        db._advance_background(t)
+    return results

@@ -1,0 +1,105 @@
+"""YCSB's request distributions: uniform, zipfian, scrambled, latest.
+
+The zipfian generator is Gray et al.'s constant-time method, the same
+one YCSB implements, with theta = 0.99. `ScrambledZipfian` spreads the
+popular items over the whole keyspace via FNV hashing, and `Latest`
+skews toward the most recently inserted records (workload D).
+"""
+
+from __future__ import annotations
+
+import random
+
+ZIPFIAN_CONSTANT = 0.99
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv64(value: int) -> int:
+    """FNV-1a over the 8 little-endian bytes of ``value``."""
+    result = _FNV_OFFSET
+    for _ in range(8):
+        octet = value & 0xFF
+        value >>= 8
+        result ^= octet
+        result = (result * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return result
+
+
+class Uniform:
+    """Uniform over [0, count)."""
+
+    def __init__(self, count: int, seed: int = 0) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self.count = count
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.randrange(self.count)
+
+
+class Zipfian:
+    """Gray's zipfian generator (as used by YCSB), theta = 0.99."""
+
+    def __init__(
+        self,
+        count: int,
+        seed: int = 0,
+        theta: float = ZIPFIAN_CONSTANT,
+    ) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self.count = count
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta(count)
+        self._zeta2 = self._zeta(2)
+        self._eta = (1 - (2.0 / count) ** (1 - theta)) / (
+            1 - self._zeta2 / self._zetan
+        )
+
+    def _zeta(self, n: int) -> float:
+        return sum(1.0 / (i ** self.theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(
+            self.count * (self._eta * u - self._eta + 1) ** self._alpha
+        )
+
+
+class ScrambledZipfian:
+    """Zipfian ranks scattered over the keyspace by FNV hashing (YCSB)."""
+
+    def __init__(self, count: int, seed: int = 0) -> None:
+        self.count = count
+        self._zipf = Zipfian(count, seed)
+
+    def next(self) -> int:
+        return fnv64(self._zipf.next()) % self.count
+
+
+class Latest:
+    """Skewed toward the most recent insert (YCSB workload D)."""
+
+    def __init__(self, count: int, seed: int = 0) -> None:
+        self.count = count
+        self._zipf = Zipfian(count, seed)
+
+    def set_count(self, count: int) -> None:
+        if count > self.count:
+            self.count = count
+            # YCSB re-targets the zipfian at the new max; ranks near zero
+            # map to the newest items, so only the bound needs updating.
+            self._zipf.count = count
+
+    def next(self) -> int:
+        rank = self._zipf.next() % self.count
+        return self.count - 1 - rank

@@ -1,0 +1,18 @@
+"""NobLSM — the paper's primary contribution.
+
+- :class:`repro.core.noblsm.NobLSM`: LevelDB with non-blocking major
+  compactions, built on the two Ext4 syscalls.
+- :class:`repro.core.dependency.DependencyTracker`: the global
+  predecessor/successor sets with p-to-q mappings.
+"""
+
+from repro.core.dependency import DependencyGroup, DependencyTracker, SSTableRef
+from repro.core.noblsm import NobLSM, noblsm_options
+
+__all__ = [
+    "DependencyGroup",
+    "DependencyTracker",
+    "SSTableRef",
+    "NobLSM",
+    "noblsm_options",
+]

@@ -1,0 +1,43 @@
+"""Simulated Ext4/JBD2 storage stack.
+
+The file system reproduces the pieces of Linux + Ext4 that NobLSM's design
+depends on:
+
+- a DRAM page cache with dirty-page accounting and a dirty-ratio commit
+  trigger (:mod:`repro.fs.pagecache`);
+- JBD2-style journaling with a running transaction, periodic asynchronous
+  commits and ``data=ordered`` writeback-before-commit
+  (:mod:`repro.fs.jbd2`);
+- an append-only file namespace with fsync/fdatasync, rename, unlink and
+  exact crash semantics (:mod:`repro.fs.ext4`);
+- the paper's two kernel tables and two syscalls (:mod:`repro.fs.syscalls`);
+- power-failure injection and recovery (:mod:`repro.fs.crash`).
+
+Every blocking call takes an explicit submission time ``at`` and returns
+its completion time, so simulated threads with private clocks can share
+one file system.
+"""
+
+from repro.fs.ext4 import Ext4, File, FsError, FileNotFound, NotAppendOnly
+from repro.fs.jbd2 import Journal, JournalConfig, Transaction, TxnState
+from repro.fs.pagecache import PageCache
+from repro.fs.syscalls import NobSyscalls
+from repro.fs.crash import crash_and_recover
+from repro.fs.stack import StackConfig, StorageStack
+
+__all__ = [
+    "Ext4",
+    "File",
+    "FsError",
+    "FileNotFound",
+    "NotAppendOnly",
+    "Journal",
+    "JournalConfig",
+    "Transaction",
+    "TxnState",
+    "PageCache",
+    "NobSyscalls",
+    "crash_and_recover",
+    "StackConfig",
+    "StorageStack",
+]

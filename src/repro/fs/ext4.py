@@ -1,0 +1,570 @@
+"""Append-only Ext4 model with delayed allocation and exact crash semantics.
+
+Files are append-only — exactly the access pattern of an LSM-tree (WAL,
+SSTables and MANIFEST are appended, CURRENT is replaced via rename). That
+restriction buys precise durability tracking: an inode's device-resident
+data is a *prefix* (``durable_len``) and its crash-visible size is the
+prefix recorded by the last committed journal transaction
+(``committed_size``). ``data=ordered`` plus delayed allocation guarantee
+``durable_len >= committed_size`` whenever a commit applies, so after a
+power failure a file is simply truncated to its committed size.
+
+The write path models ext4's *delayed allocation*: a buffered append
+only dirties pages and marks the inode delalloc-dirty. Data reaches the
+device through **writeback** — the periodic flusher daemon, dirty-page
+pressure, or an explicit fsync — and only then does the inode join the
+running journal transaction. Consequently an fsync pays for its own
+file's writeback plus one cheap commit, never for unrelated dirty data
+(no "fsync entanglement"); and a file is crash-recoverable once the
+flusher has written it back and the following asynchronous commit has
+journaled its inode — the implicit durability NobLSM builds on.
+
+Content is stored as extents that are either real bytes or zero-runs, so
+multi-gigabyte experiments (Figure 2a) run without allocating gigabytes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.fs.jbd2 import Journal, NsOp, NsOpKind, Transaction
+from repro.fs.pagecache import PageCache
+from repro.sim.events import EventQueue
+from repro.sim.latency import CpuProfile, DEFAULT_CPU
+from repro.sim.ssd import SSD
+from repro.sim.stats import SyncStats
+
+
+class FsError(Exception):
+    """Base class for file-system errors."""
+
+
+class FileNotFound(FsError):
+    """Path does not exist."""
+
+
+class FileExists(FsError):
+    """Path already exists."""
+
+
+class NotAppendOnly(FsError):
+    """An operation violated the append-only file model."""
+
+
+Payload = Union[bytes, int]  # real bytes, or a zero-run length
+
+
+class _ExtentList:
+    """Append-only byte content as (start, payload) extents."""
+
+    __slots__ = ("_starts", "_payloads", "_size")
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._payloads: List[Payload] = []
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def append(self, data: bytes) -> None:
+        if data:
+            self._starts.append(self._size)
+            self._payloads.append(bytes(data))
+            self._size += len(data)
+
+    def append_zeros(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative zero-run {nbytes}")
+        if nbytes:
+            self._starts.append(self._size)
+            self._payloads.append(int(nbytes))
+            self._size += nbytes
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        if offset < 0 or nbytes < 0:
+            raise ValueError(f"bad read range ({offset}, {nbytes})")
+        end = min(offset + nbytes, self._size)
+        if offset >= end:
+            return b""
+        pieces: List[bytes] = []
+        idx = bisect.bisect_right(self._starts, offset) - 1
+        pos = offset
+        while pos < end and idx < len(self._payloads):
+            start = self._starts[idx]
+            payload = self._payloads[idx]
+            length = payload if isinstance(payload, int) else len(payload)
+            lo = pos - start
+            hi = min(end - start, length)
+            if isinstance(payload, int):
+                pieces.append(b"\x00" * (hi - lo))
+            else:
+                pieces.append(payload[lo:hi])
+            pos = start + hi
+            idx += 1
+        return b"".join(pieces)
+
+    def truncate(self, new_size: int) -> None:
+        """Drop everything past ``new_size`` (crash recovery)."""
+        if new_size >= self._size:
+            return
+        if new_size < 0:
+            raise ValueError(f"negative truncate {new_size}")
+        keep = bisect.bisect_right(self._starts, max(new_size - 1, 0))
+        del self._starts[keep:]
+        del self._payloads[keep:]
+        if self._payloads:
+            start = self._starts[-1]
+            payload = self._payloads[-1]
+            cut = new_size - start
+            if isinstance(payload, int):
+                self._payloads[-1] = cut
+            else:
+                self._payloads[-1] = payload[:cut]
+            if cut == 0:
+                del self._starts[-1]
+                del self._payloads[-1]
+        self._size = new_size
+
+
+@dataclass
+class Inode:
+    """In-memory inode: live content plus durability watermarks."""
+
+    ino: int
+    data: _ExtentList = field(default_factory=_ExtentList)
+    durable_len: int = 0  # bytes written back to the device
+    committed_size: int = 0  # size recorded by the last committed txn
+    ever_committed: bool = False
+    nlink: int = 1
+    last_read_end: int = -1  # sequential-read detection
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dirty_bytes(self) -> int:
+        return max(self.size - self.durable_len, 0)
+
+
+class File:
+    """Handle to an open file. All mutating calls are time-explicit."""
+
+    def __init__(self, fs: "Ext4", path: str, inode: Inode) -> None:
+        self._fs = fs
+        self.path = path
+        self._inode = inode
+        self.closed = False
+
+    @property
+    def ino(self) -> int:
+        return self._inode.ino
+
+    @property
+    def size(self) -> int:
+        return self._inode.size
+
+    def append(self, data: bytes, at: int) -> int:
+        return self._fs.append(self, data, at)
+
+    def append_zeros(self, nbytes: int, at: int) -> int:
+        return self._fs.append_zeros(self, nbytes, at)
+
+    def write_direct(self, nbytes: int, at: int, data: bytes = b"") -> int:
+        return self._fs.write_direct(self, nbytes, at, data)
+
+    def read(self, offset: int, nbytes: int, at: int) -> Tuple[bytes, int]:
+        return self._fs.read(self, offset, nbytes, at)
+
+    def fsync(self, at: int, reason: str = "fsync") -> int:
+        return self._fs.fsync(self, at, reason)
+
+    def fdatasync(self, at: int, reason: str = "fdatasync") -> int:
+        # LevelDB calls fdatasync; on Ext4 it behaves almost identically
+        # to fsync (Section 2.2), and so it does here.
+        return self._fs.fsync(self, at, reason)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __repr__(self) -> str:
+        return f"File({self.path!r}, ino={self.ino}, size={self.size})"
+
+
+class Ext4:
+    """The simulated file system.
+
+    One instance owns the namespace, the inodes, the page cache and is
+    attached to a :class:`~repro.fs.jbd2.Journal`. Every blocking call
+    takes the caller's submission time ``at``, first drains due background
+    events, and returns the completion time.
+    """
+
+    #: default flusher wake-up period (virtual ns); scaled runs divide it
+    DEFAULT_WRITEBACK_INTERVAL = 1_000_000_000
+    #: default writeback batch (Linux submits ~16 MiB at a time); a sync
+    #: arriving mid-writeback queues behind at most one batch, not the
+    #: whole dirty backlog
+    DEFAULT_WRITEBACK_CHUNK = 16 * 1024 * 1024
+
+    def __init__(
+        self,
+        events: EventQueue,
+        device: SSD,
+        journal: Journal,
+        pagecache: PageCache,
+        cpu: CpuProfile = DEFAULT_CPU,
+        sync_stats: Optional[SyncStats] = None,
+        writeback_interval_ns: int = DEFAULT_WRITEBACK_INTERVAL,
+        writeback_chunk_bytes: int = DEFAULT_WRITEBACK_CHUNK,
+        hard_dirty_ratio: float = 0.25,
+    ) -> None:
+        self.events = events
+        self.clock = events.clock
+        self.device = device
+        self.journal = journal
+        self.pagecache = pagecache
+        self.cpu = cpu
+        self.sync_stats = sync_stats if sync_stats is not None else SyncStats()
+        self.writeback_interval_ns = max(int(writeback_interval_ns), 1)
+        self.writeback_chunk_bytes = max(int(writeback_chunk_bytes), 4096)
+        self.hard_dirty_ratio = hard_dirty_ratio
+        self._namespace: Dict[str, int] = {}
+        self._durable_namespace: Dict[str, int] = {}
+        self._inodes: Dict[int, Inode] = {}
+        self._ino_counter = itertools.count(1)
+        self._delalloc: "set[int]" = set()  # inodes with dirty data
+        self._flusher_timer = None
+        self._flusher_busy_until = 0  # previous round's device completion
+        self.flusher_runs = 0
+        self.throttle_ns = 0
+        self.crashes = 0
+        journal.datasource = self
+        pagecache.on_dirty_threshold = self._on_dirty_pressure
+
+    # ------------------------------------------------------------------
+    # journal datasource protocol
+    # ------------------------------------------------------------------
+
+    def dirty_extent(self, ino: int) -> Tuple[int, int]:
+        inode = self._inodes.get(ino)
+        if inode is None:
+            return (0, 0)
+        return (inode.durable_len, inode.size)
+
+    def apply_commit(self, txn: Transaction, when: int) -> None:
+        """Make a committed transaction's effects crash-recoverable."""
+        for ino, committed in txn.commit_sizes.items():
+            inode = self._inodes.get(ino)
+            if inode is None:
+                continue
+            if committed > inode.durable_len:
+                inode.durable_len = committed
+            if committed > inode.committed_size:
+                inode.committed_size = committed
+            inode.ever_committed = True
+            self.pagecache.clean_inode(ino, committed)
+        for op in txn.ns_ops:
+            if op.kind is NsOpKind.CREATE:
+                self._durable_namespace[op.path] = op.ino
+            elif op.kind is NsOpKind.UNLINK:
+                self._durable_namespace.pop(op.path, None)
+            elif op.kind is NsOpKind.RENAME:
+                ino = self._durable_namespace.pop(op.path, op.ino)
+                self._durable_namespace[op.dst_path] = ino
+
+    # ------------------------------------------------------------------
+    # namespace
+    # ------------------------------------------------------------------
+
+    def _tick(self, at: int) -> int:
+        """Fire due background events, return the (possibly same) time."""
+        self.events.run_until(max(at, self.clock.now))
+        return at
+
+    def exists(self, path: str) -> bool:
+        return path in self._namespace
+
+    def list_dir(self, prefix: str) -> List[str]:
+        """Paths that start with ``prefix`` (our namespace is flat)."""
+        return sorted(p for p in self._namespace if p.startswith(prefix))
+
+    def stat_size(self, path: str) -> int:
+        return self._get_inode(path).size
+
+    def _get_inode(self, path: str) -> Inode:
+        ino = self._namespace.get(path)
+        if ino is None:
+            raise FileNotFound(path)
+        return self._inodes[ino]
+
+    def create(self, path: str, at: int) -> Tuple[File, int]:
+        """Create a new empty file; journals the namespace update."""
+        self._tick(at)
+        if path in self._namespace:
+            raise FileExists(path)
+        inode = Inode(ino=next(self._ino_counter))
+        self._inodes[inode.ino] = inode
+        self._namespace[path] = inode.ino
+        self.journal.add_ns_op(NsOp(NsOpKind.CREATE, path, inode.ino))
+        return File(self, path, inode), at + self.cpu.syscall_ns
+
+    def open(self, path: str, at: int) -> Tuple[File, int]:
+        self._tick(at)
+        inode = self._get_inode(path)
+        return File(self, path, inode), at + self.cpu.syscall_ns
+
+    def unlink(self, path: str, at: int) -> int:
+        """Remove a path; durable only once the journal commits."""
+        self._tick(at)
+        inode = self._get_inode(path)
+        del self._namespace[path]
+        inode.nlink = 0
+        self._delalloc.discard(inode.ino)
+        self.journal.add_ns_op(NsOp(NsOpKind.UNLINK, path, inode.ino))
+        self.pagecache.drop_inode(inode.ino)
+        syscalls = getattr(self, "nob_syscalls", None)
+        if syscalls is not None:
+            syscalls.on_unlink(inode.ino)
+        return at + self.cpu.syscall_ns
+
+    def rename(self, src: str, dst: str, at: int) -> int:
+        """Atomically replace ``dst`` with ``src`` (journaled).
+
+        If ``dst`` exists it is implicitly unlinked, as POSIX requires.
+        Like ext4's ``auto_da_alloc`` heuristic, a rename writes the
+        source's delalloc data back first, so a replace-via-rename never
+        leaves a zero-length file after a crash.
+        """
+        self._tick(at)
+        ino = self._namespace.get(src)
+        if ino is None:
+            raise FileNotFound(src)
+        _, at = self.writeback_inode(ino, at)
+        displaced = self._namespace.get(dst)
+        if displaced is not None and displaced != ino:
+            self._inodes[displaced].nlink = 0
+            self._delalloc.discard(displaced)
+            self.pagecache.drop_inode(displaced)
+            syscalls = getattr(self, "nob_syscalls", None)
+            if syscalls is not None:
+                syscalls.on_unlink(displaced)
+        del self._namespace[src]
+        self._namespace[dst] = ino
+        self.journal.add_ns_op(NsOp(NsOpKind.RENAME, src, ino, dst_path=dst))
+        return at + self.cpu.syscall_ns
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    def _record_write(self, inode: Inode, nbytes: int, at: int) -> int:
+        """Dirty pages, mark delalloc, throttle if over the hard limit."""
+        self.pagecache.write(inode.ino, inode.size - nbytes, nbytes)
+        self._delalloc.add(inode.ino)
+        self._arm_flusher()
+        hard_limit = int(self.pagecache.capacity_bytes * self.hard_dirty_ratio)
+        if self.pagecache.dirty_bytes > hard_limit:
+            # balance_dirty_pages: the writer blocks until writeback
+            # drains the backlog (it becomes device-bound).
+            drained = self.writeback_all(at)
+            self.throttle_ns += max(drained - at, 0)
+            return drained
+        return at
+
+    def append(self, handle: File, data: bytes, at: int) -> int:
+        """Buffered append: page-cache memcpy; allocation is delayed."""
+        self._tick(at)
+        inode = handle._inode
+        inode.data.append(data)
+        t = at + self.cpu.memcpy_ns(len(data))
+        return self._record_write(inode, len(data), t)
+
+    def append_zeros(self, handle: File, nbytes: int, at: int) -> int:
+        """Buffered append of a zero-run (large synthetic writes)."""
+        self._tick(at)
+        inode = handle._inode
+        inode.data.append_zeros(nbytes)
+        t = at + self.cpu.memcpy_ns(nbytes)
+        return self._record_write(inode, nbytes, t)
+
+    def write_direct(self, handle: File, nbytes: int, at: int, data: bytes = b"") -> int:
+        """O_DIRECT-style append: bypasses the cache, blocks on the device.
+
+        Allocation is immediate with direct I/O, so the inode's size
+        change joins the running transaction right away.
+        """
+        self._tick(at)
+        inode = handle._inode
+        if data:
+            if len(data) != nbytes:
+                raise ValueError("data length does not match nbytes")
+            inode.data.append(data)
+        else:
+            inode.data.append_zeros(nbytes)
+        done = self.device.write(nbytes, at, sequential=True)
+        inode.durable_len = inode.size
+        self.journal.join(inode.ino, inode.durable_len)
+        self.events.run_until(done)
+        return done
+
+    # ------------------------------------------------------------------
+    # writeback (the flusher daemon and dirty-pressure handling)
+    # ------------------------------------------------------------------
+
+    def writeback_inode(
+        self, ino: int, at: int, max_bytes: Optional[int] = None
+    ) -> "Tuple[int, int]":
+        """Write (up to ``max_bytes`` of) one inode's dirty data back.
+
+        This is where delayed allocation resolves: data goes to the
+        device first, then the inode (with its new durable prefix) enters
+        the running transaction — data=ordered by construction. Returns
+        ``(bytes_written, completion_time)``.
+        """
+        inode = self._inodes.get(ino)
+        if inode is None or inode.nlink == 0:
+            self._delalloc.discard(ino)
+            return 0, at
+        delta = inode.dirty_bytes
+        if max_bytes is not None:
+            delta = min(delta, max_bytes)
+        t = at
+        if delta > 0:
+            t = self.device.write(delta, t, sequential=True)
+            inode.durable_len += delta
+        self.pagecache.clean_inode(ino, inode.durable_len)
+        if inode.dirty_bytes == 0:
+            self._delalloc.discard(ino)
+        if delta > 0:
+            self.journal.join(ino, inode.durable_len)
+        return delta, t
+
+    def writeback_all(self, at: int) -> int:
+        """Write back every delalloc-dirty inode (dirty-pressure path)."""
+        t = at
+        for ino in sorted(self._delalloc):
+            _, t = self.writeback_inode(ino, t)
+        return t
+
+    def _arm_flusher(self, delay: Optional[int] = None) -> None:
+        if self._flusher_timer is None and self._delalloc:
+            self._flusher_timer = self.events.schedule_after(
+                self.writeback_interval_ns if delay is None else delay,
+                self._flusher_tick,
+            )
+
+    def _flusher_tick(self, when: int) -> None:
+        """One paced writeback batch; reschedules itself while dirty.
+
+        At most one ``writeback_chunk_bytes`` batch is in flight at a
+        time, and a round never starts before the previous round's
+        device completion — the flusher drains at device speed, dirty
+        pages accumulate in between, and writers that outrun the device
+        eventually hit the hard dirty limit (backpressure).
+        """
+        self._flusher_timer = None
+        if when < self._flusher_busy_until:
+            self._arm_flusher(delay=self._flusher_busy_until - when)
+            return
+        self.flusher_runs += 1
+        budget = self.writeback_chunk_bytes
+        t = when
+        for ino in sorted(self._delalloc):
+            if budget <= 0:
+                break
+            written, t = self.writeback_inode(ino, t, max_bytes=budget)
+            budget -= written
+        self._flusher_busy_until = t
+        if self._delalloc:
+            self._arm_flusher(delay=max(t - self.clock.now, 1))
+        # otherwise re-armed by the next dirtying write
+
+    def _on_dirty_pressure(self) -> None:
+        """Background dirty-ratio crossed: wake the flusher now, commit.
+
+        The flusher still drains in paced chunks at device speed — this
+        only pulls its next wake-up forward. Writers that outrun the
+        device keep dirtying pages until the *hard* limit, where
+        ``_record_write`` blocks them (balance_dirty_pages).
+        """
+        if self._flusher_timer is not None:
+            self._flusher_timer.cancel()
+            self._flusher_timer = None
+        self._arm_flusher(delay=1)
+        self.journal.request_commit()
+
+    def read(self, handle: File, offset: int, nbytes: int, at: int) -> Tuple[bytes, int]:
+        """Read bytes; page-cache misses cost device reads."""
+        self._tick(at)
+        inode = handle._inode
+        data = inode.data.read(offset, nbytes)
+        miss_bytes = self.pagecache.read_misses(inode.ino, offset, len(data))
+        t = at + self.cpu.memcpy_ns(len(data))
+        if miss_bytes:
+            sequential = offset == inode.last_read_end
+            t = self.device.read(miss_bytes, t, sequential=sequential)
+            self.events.run_until(t)
+        inode.last_read_end = offset + len(data)
+        return data, t
+
+    def fsync(self, handle: File, at: int, reason: str = "fsync") -> int:
+        """Blocking sync: write back *this file's* data, force a commit.
+
+        The cost the paper measures: the file's own dirty pages go to the
+        device, then the journal commit (journal blocks + FLUSH barrier)
+        makes its inode durable. Unrelated dirty data stays in the cache
+        (delayed allocation keeps it out of the transaction).
+        """
+        self._tick(at)
+        inode = handle._inode
+        dirty = inode.dirty_bytes
+        self.sync_stats.record(dirty, reason)
+        t = at + self.cpu.syscall_ns
+        _, t = self.writeback_inode(inode.ino, t)
+        t = self.journal.wait_for_inode(inode.ino, t)
+        if inode.committed_size < inode.durable_len:
+            # wait_for_inode committed the txn holding this inode, which
+            # recorded its size; for a data-only change there is no txn and
+            # the durable prefix already covers everything written back.
+            inode.committed_size = inode.durable_len
+            inode.ever_committed = True
+        self.events.run_until(t)
+        return t
+
+    # ------------------------------------------------------------------
+    # crash
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power failure: volatile state vanishes; journal recovery runs.
+
+        Committed metadata and written-back data survive; everything else
+        — page cache, running/in-flight transactions, uncommitted files,
+        file tails past their committed size — is lost.
+        """
+        self.crashes += 1
+        self.journal.discard_volatile()
+        self.pagecache.drop_all()
+        self._delalloc.clear()
+        if self._flusher_timer is not None:
+            self._flusher_timer.cancel()
+            self._flusher_timer = None
+        self._namespace = dict(self._durable_namespace)
+        survivors: Dict[int, Inode] = {}
+        for path, ino in self._namespace.items():
+            inode = self._inodes[ino]
+            inode.data.truncate(inode.committed_size)
+            inode.durable_len = inode.committed_size
+            inode.nlink = 1
+            inode.last_read_end = -1
+            survivors[ino] = inode
+        self._inodes = survivors
+        syscalls = getattr(self, "nob_syscalls", None)
+        if syscalls is not None:
+            syscalls.reset()

@@ -1,0 +1,158 @@
+"""DRAM page cache model.
+
+The cache models *timing and durability state*, not data content (file
+bytes live in the inode regardless). It tracks which 64 KiB pages of each
+inode are resident, evicts clean pages LRU when over capacity, and keeps a
+global dirty-byte count. When the dirty ratio crosses a threshold (10 % by
+default, as in the paper), it notifies the journal so an asynchronous
+commit can be triggered early — the second of Ext4's two async-commit
+conditions (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+PAGE_SIZE = 64 * 1024  # coarse pages keep LRU bookkeeping cheap
+
+PageKey = Tuple[int, int]  # (ino, page_index)
+
+
+class PageCache:
+    """Resident-page tracking with LRU eviction of clean pages.
+
+    ``capacity_bytes`` bounds resident pages; dirty pages are pinned (the
+    journal's writeback cleans them). ``on_dirty_threshold`` fires once per
+    crossing of ``dirty_ratio`` and re-arms after dirty bytes fall below.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        dirty_ratio: float = 0.10,
+        on_dirty_threshold: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        if not 0.0 < dirty_ratio <= 1.0:
+            raise ValueError(f"dirty_ratio out of range: {dirty_ratio}")
+        self.capacity_bytes = capacity_bytes
+        self.dirty_ratio = dirty_ratio
+        self.on_dirty_threshold = on_dirty_threshold
+        self._pages: "OrderedDict[PageKey, bool]" = OrderedDict()  # key -> dirty
+        self._dirty_bytes = 0
+        self._threshold_armed = True
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._pages) * PAGE_SIZE
+
+    @property
+    def dirty_bytes(self) -> int:
+        return self._dirty_bytes
+
+    @property
+    def dirty_threshold_bytes(self) -> int:
+        return int(self.capacity_bytes * self.dirty_ratio)
+
+    def _page_range(self, offset: int, nbytes: int) -> range:
+        if nbytes <= 0:
+            return range(0)
+        first = offset // PAGE_SIZE
+        last = (offset + nbytes - 1) // PAGE_SIZE
+        return range(first, last + 1)
+
+    def _evict_if_needed(self) -> None:
+        while self.resident_bytes > self.capacity_bytes:
+            victim = None
+            for key, dirty in self._pages.items():
+                if not dirty:
+                    victim = key
+                    break
+            if victim is None:
+                # Everything resident is dirty; allow transient overshoot —
+                # the journal's next writeback will clean pages.
+                break
+            del self._pages[victim]
+            self.evictions += 1
+
+    def _maybe_fire_threshold(self) -> None:
+        threshold = self.dirty_threshold_bytes
+        if self._dirty_bytes >= threshold:
+            if self._threshold_armed and self.on_dirty_threshold is not None:
+                self._threshold_armed = False
+                self.on_dirty_threshold()
+        else:
+            self._threshold_armed = True
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def write(self, ino: int, offset: int, nbytes: int) -> None:
+        """Record a buffered write: pages become resident and dirty."""
+        for page in self._page_range(offset, nbytes):
+            key = (ino, page)
+            was_dirty = self._pages.pop(key, None)
+            if was_dirty is None:
+                self._dirty_bytes += PAGE_SIZE
+            elif not was_dirty:
+                self._dirty_bytes += PAGE_SIZE
+            self._pages[key] = True
+        self._evict_if_needed()
+        self._maybe_fire_threshold()
+
+    def read_misses(self, ino: int, offset: int, nbytes: int) -> int:
+        """Record a read; returns the number of bytes that missed.
+
+        Missing pages become resident (read from the device by the caller).
+        """
+        miss_pages = 0
+        for page in self._page_range(offset, nbytes):
+            key = (ino, page)
+            dirty = self._pages.pop(key, None)
+            if dirty is None:
+                miss_pages += 1
+                self._pages[key] = False
+                self.misses += 1
+            else:
+                self._pages[key] = dirty
+                self.hits += 1
+        self._evict_if_needed()
+        return miss_pages * PAGE_SIZE
+
+    def clean_inode(self, ino: int, up_to_offset: int) -> None:
+        """Mark an inode's pages clean after writeback (keeps residency)."""
+        last_page = (max(up_to_offset, 1) - 1) // PAGE_SIZE
+        for page in range(0, last_page + 1):
+            key = (ino, page)
+            if self._pages.get(key):
+                self._pages[key] = False
+                self._dirty_bytes -= PAGE_SIZE
+        if self._dirty_bytes < 0:
+            self._dirty_bytes = 0
+        self._maybe_fire_threshold()
+
+    def drop_inode(self, ino: int) -> None:
+        """Remove every page of an inode (unlink / crash)."""
+        stale = [key for key in self._pages if key[0] == ino]
+        for key in stale:
+            if self._pages[key]:
+                self._dirty_bytes -= PAGE_SIZE
+            del self._pages[key]
+        if self._dirty_bytes < 0:
+            self._dirty_bytes = 0
+
+    def drop_all(self) -> None:
+        """Empty the cache (power failure)."""
+        self._pages.clear()
+        self._dirty_bytes = 0
+        self._threshold_armed = True

@@ -1,0 +1,96 @@
+"""One-call construction of the whole simulated storage stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fs.ext4 import Ext4
+from repro.fs.jbd2 import Journal, JournalConfig
+from repro.fs.pagecache import PageCache
+from repro.fs.syscalls import NobSyscalls
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue
+from repro.sim.latency import (
+    CpuProfile,
+    DEFAULT_CPU,
+    DeviceProfile,
+    GIB,
+    PM883,
+)
+from repro.sim.ssd import SSD
+from repro.sim.stats import SyncStats
+
+
+@dataclass
+class StackConfig:
+    """Knobs for building a :class:`StorageStack`."""
+
+    device: DeviceProfile = PM883
+    cpu: CpuProfile = DEFAULT_CPU
+    pagecache_bytes: int = 4 * GIB
+    dirty_ratio: float = 0.10
+    hard_dirty_ratio: float = 0.25
+    writeback_interval_ns: int = Ext4.DEFAULT_WRITEBACK_INTERVAL
+    writeback_chunk_bytes: int = Ext4.DEFAULT_WRITEBACK_CHUNK
+    journal: JournalConfig = field(default_factory=JournalConfig)
+
+
+class StorageStack:
+    """Clock + events + SSD + page cache + journal + Ext4 + syscalls.
+
+    The canonical substrate every store and benchmark runs on. One stack
+    models one machine: a single SSD, a single file system, one journal.
+    """
+
+    def __init__(self, config: Optional[StackConfig] = None) -> None:
+        self.config = config if config is not None else StackConfig()
+        self.clock = VirtualClock()
+        self.events = EventQueue(self.clock)
+        self.ssd = SSD(self.clock, self.config.device)
+        self.sync_stats = SyncStats()
+        self.pagecache = PageCache(
+            self.config.pagecache_bytes, self.config.dirty_ratio
+        )
+        self.journal = Journal(self.events, self.ssd, self.config.journal)
+        self.fs = Ext4(
+            self.events,
+            self.ssd,
+            self.journal,
+            self.pagecache,
+            cpu=self.config.cpu,
+            sync_stats=self.sync_stats,
+            writeback_interval_ns=self.config.writeback_interval_ns,
+            writeback_chunk_bytes=self.config.writeback_chunk_bytes,
+            hard_dirty_ratio=self.config.hard_dirty_ratio,
+        )
+        self.syscalls = NobSyscalls(self.fs)
+
+    @property
+    def now(self) -> int:
+        return self.clock.now
+
+    def settle(self, max_steps: int = 10_000) -> int:
+        """Run background work until the stack is quiescent.
+
+        Quiescent means: no dirty pages, no running or in-flight journal
+        transaction. The journal's periodic timer re-arms forever, so this
+        steps event-by-event rather than draining the queue.
+        """
+        for _ in range(max_steps):
+            quiescent = (
+                self.pagecache.dirty_bytes == 0
+                and (self.journal.running is None or self.journal.running.empty)
+                and self.journal.committing is None
+            )
+            if quiescent:
+                break
+            next_time = self.events.next_event_time()
+            if next_time is None:
+                break
+            self.events.run_until(next_time)
+        return self.clock.now
+
+    def crash(self) -> None:
+        """Power-fail the machine (see :mod:`repro.fs.crash`)."""
+        self.fs.crash()

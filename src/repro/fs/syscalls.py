@@ -1,0 +1,99 @@
+"""The paper's kernel extension: two tables, two syscalls.
+
+NobLSM adds ~130 LoC to Linux/Ext4 (Section 4.2):
+
+- a *Pending Table* of inodes NobLSM asked the kernel to track, and a
+  *Committed Table* of tracked inodes whose journal transaction has
+  committed;
+- ``check_commit(inodes)`` — start tracking inodes (fills Pending);
+- ``is_committed(inode)`` — query whether an inode moved to Committed.
+
+On commit completion JBD2 moves the transaction's tracked inodes from
+Pending to Committed; on unlink Ext4 erases the inode's entry, which keeps
+the tables small and avoids cyclic dependencies from inode reuse
+(Section 4.3).
+
+Both tables live in (simulated) kernel memory: a crash clears them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.fs.ext4 import Ext4
+from repro.fs.jbd2 import Transaction
+
+
+class NobSyscalls:
+    """Kernel-side state and the two syscalls, bound to one file system."""
+
+    def __init__(self, fs: Ext4) -> None:
+        self.fs = fs
+        self.pending: Set[int] = set()
+        self.committed: Set[int] = set()
+        self.check_commit_calls = 0
+        self.is_committed_calls = 0
+        fs.nob_syscalls = self
+        fs.journal.on_commit.append(self._on_journal_commit)
+
+    # ------------------------------------------------------------------
+    # kernel hooks
+    # ------------------------------------------------------------------
+
+    def _on_journal_commit(self, txn: Transaction, when: int) -> None:
+        """Move inodes covered by the committed transaction to Committed.
+
+        An inode that was re-dirtied after joining the transaction stays
+        Pending — its newest data is not durable yet. (SSTables are
+        immutable so this never triggers for NobLSM's files, but the
+        kernel tables must be safe for any user.)
+        """
+        moved = set()
+        for ino in self.pending & txn.inodes:
+            inode = self.fs._inodes.get(ino)
+            if inode is not None and inode.dirty_bytes > 0:
+                continue
+            moved.add(ino)
+        self.pending -= moved
+        self.committed |= moved
+
+    def on_unlink(self, ino: int) -> None:
+        """Erase table entries when the file is deleted (Section 4.3)."""
+        self.pending.discard(ino)
+        self.committed.discard(ino)
+
+    def reset(self) -> None:
+        """Kernel tables are volatile; a crash empties them."""
+        self.pending.clear()
+        self.committed.clear()
+
+    # ------------------------------------------------------------------
+    # the two syscalls
+    # ------------------------------------------------------------------
+
+    def check_commit(self, inos: Iterable[int], at: int) -> int:
+        """Syscall 1: tell Ext4 which inodes to start tracking.
+
+        Tracking covers the inode's *current* state: an inode that still
+        has delalloc-dirty data or sits in an open transaction goes to
+        (or back to) the Pending table; an inode that is fully durable
+        goes straight to Committed.
+        """
+        self.check_commit_calls += 1
+        for ino in inos:
+            inode = self.fs._inodes.get(ino)
+            dirty = inode is not None and inode.dirty_bytes > 0
+            txn = self.fs.journal.txn_of(ino)
+            if dirty or txn is not None:
+                self.pending.add(ino)
+                self.committed.discard(ino)
+            else:
+                self.committed.add(ino)
+                self.pending.discard(ino)
+        return at + self.fs.cpu.syscall_ns
+
+    def is_committed(self, ino: int, at: int) -> "tuple[bool, int]":
+        """Syscall 2: has the inode moved to the Committed table?"""
+        self.is_committed_calls += 1
+        self.fs.events.run_until(max(at, self.fs.clock.now))
+        return ino in self.committed, at + self.fs.cpu.syscall_ns

@@ -1,0 +1,14 @@
+"""A LevelDB-like LSM-tree running on the simulated Ext4/SSD stack.
+
+The store reproduces the structure the paper builds on (LevelDB 1.23):
+skiplist-equivalent memtable, write-ahead log, SSTables with data blocks,
+index and bloom filters, a MANIFEST-backed version set, minor/major/seek
+compactions, L0 slowdown/stop write stalls and a background compaction
+thread — all in virtual time.
+"""
+
+from repro.lsm.db import DB, Snapshot
+from repro.lsm.options import Options
+from repro.lsm.write_batch import WriteBatch
+
+__all__ = ["DB", "Options", "Snapshot", "WriteBatch"]

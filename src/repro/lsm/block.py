@@ -1,0 +1,103 @@
+"""Data and index blocks.
+
+A block is a flat sequence of ``[klen varint | vlen varint | key | value]``
+entries in key order, followed by a fixed32 entry count. (LevelDB adds
+prefix compression and restart points; flat entries keep decode simple
+while preserving sizes to within a few percent, which is all the device
+model consumes.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lsm.format import (
+    CorruptionError,
+    get_fixed32,
+    get_varint,
+    put_fixed32,
+    put_varint,
+)
+
+
+class BlockBuilder:
+    """Accumulates sorted (key, value) entries into one block."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+        self._count = 0
+        self._bytes = 0
+        self.last_key: Optional[bytes] = None
+
+    @property
+    def empty(self) -> bool:
+        return self._count == 0
+
+    @property
+    def size_estimate(self) -> int:
+        return self._bytes + 4
+
+    def add(self, key: bytes, value: bytes) -> None:
+        """Append an entry.
+
+        Ordering is the caller's contract: data blocks hold *internal*
+        keys, whose order (user key asc, sequence desc) differs from raw
+        byte order, so the table builder validates with the internal
+        comparator before calling here.
+        """
+        entry = put_varint(len(key)) + put_varint(len(value)) + key + value
+        self._parts.append(entry)
+        self._bytes += len(entry)
+        self._count += 1
+        self.last_key = key
+
+    def finish(self) -> bytes:
+        self._parts.append(put_fixed32(self._count))
+        block = b"".join(self._parts)
+        self.reset()
+        return block
+
+    def reset(self) -> None:
+        self._parts = []
+        self._count = 0
+        self._bytes = 0
+        self.last_key = None
+
+
+class Block:
+    """A decoded block: parallel key/value lists, binary-searchable."""
+
+    __slots__ = ("keys", "values")
+
+    def __init__(self, keys: List[bytes], values: List[bytes]) -> None:
+        self.keys = keys
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Block":
+        if len(data) < 4:
+            raise CorruptionError("block shorter than its trailer")
+        count = get_fixed32(data, len(data) - 4)
+        body = data[:-4]
+        keys: List[bytes] = []
+        values: List[bytes] = []
+        pos = 0
+        for _ in range(count):
+            klen, pos = get_varint(body, pos)
+            vlen, pos = get_varint(body, pos)
+            end_key = pos + klen
+            end_val = end_key + vlen
+            if end_val > len(body):
+                raise CorruptionError("block entry truncated")
+            keys.append(bytes(body[pos:end_key]))
+            values.append(bytes(body[end_key:end_val]))
+            pos = end_val
+        if pos != len(body):
+            raise CorruptionError("trailing garbage in block")
+        return cls(keys, values)
+
+    def entries(self) -> List[Tuple[bytes, bytes]]:
+        return list(zip(self.keys, self.values))

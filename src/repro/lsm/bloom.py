@@ -1,0 +1,67 @@
+"""Bloom filter, LevelDB-style double hashing."""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable
+
+
+def _base_hash(key: bytes) -> int:
+    # crc32 of the key and of its reverse give two independent-enough
+    # 32-bit hashes for Kirsch-Mitzenmacher double hashing.
+    h1 = zlib.crc32(key) & 0xFFFFFFFF
+    h2 = zlib.crc32(key[::-1], 0x9747B28C) & 0xFFFFFFFF
+    return h1 | (h2 << 32)
+
+
+class BloomFilter:
+    """Immutable bloom filter over a set of keys."""
+
+    def __init__(self, bits: bytearray, k: int) -> None:
+        self._bits = bits
+        self.k = k
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits) + 1
+
+    @classmethod
+    def build(cls, keys: Iterable[bytes], bits_per_key: int) -> "BloomFilter":
+        keys = list(keys)
+        k = max(1, min(30, int(bits_per_key * 0.69)))  # ln 2 factor
+        nbits = max(64, len(keys) * bits_per_key)
+        nbytes = (nbits + 7) // 8
+        nbits = nbytes * 8
+        bits = bytearray(nbytes)
+        for key in keys:
+            combined = _base_hash(key)
+            h = combined & 0xFFFFFFFF
+            delta = (combined >> 32) & 0xFFFFFFFF
+            for _ in range(k):
+                pos = h % nbits
+                bits[pos // 8] |= 1 << (pos % 8)
+                h = (h + delta) & 0xFFFFFFFF
+        return cls(bits, k)
+
+    def may_contain(self, key: bytes) -> bool:
+        nbits = len(self._bits) * 8
+        if nbits == 0:
+            return False
+        combined = _base_hash(key)
+        h = combined & 0xFFFFFFFF
+        delta = (combined >> 32) & 0xFFFFFFFF
+        for _ in range(self.k):
+            pos = h % nbits
+            if not self._bits[pos // 8] & (1 << (pos % 8)):
+                return False
+            h = (h + delta) & 0xFFFFFFFF
+        return True
+
+    def encode(self) -> bytes:
+        return bytes(self._bits) + bytes([self.k])
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BloomFilter":
+        if not data:
+            return cls(bytearray(), 1)
+        return cls(bytearray(data[:-1]), data[-1])

@@ -1,0 +1,230 @@
+"""Compaction picking and geometry (LevelDB's logic).
+
+- *Size compaction*: the level whose score (bytes / limit, or L0 file
+  count / trigger) is highest and >= 1.
+- *Seek compaction*: a file that served too many fruitless seeks is sent
+  down one level (Section 5.2 of the paper leans on these for the
+  readrandom result).
+- *Trivial move*: a single input file with no next-level overlap and
+  bounded grandparent overlap is moved without rewriting.
+
+Output files are cut at ``max_file_size`` or when they would overlap too
+much of level+2 (the grandparent limit), as in LevelDB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.lsm.options import Options
+from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
+
+
+@dataclass
+class Compaction:
+    """A planned compaction from ``level`` into ``level + 1``."""
+
+    level: int
+    inputs: List[FileMetaData]  # files at `level`
+    overlaps: List[FileMetaData]  # files at `level + 1`
+    grandparents: List[FileMetaData] = field(default_factory=list)
+    is_seek: bool = False
+
+    @property
+    def output_level(self) -> int:
+        return self.level + 1
+
+    @property
+    def all_inputs(self) -> List[FileMetaData]:
+        return self.inputs + self.overlaps
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(f.file_size for f in self.all_inputs)
+
+    def is_trivial_move(self, options: Options) -> bool:
+        """Move the single input down without rewriting it."""
+        if len(self.inputs) != 1 or self.overlaps:
+            return False
+        grandparent_bytes = sum(f.file_size for f in self.grandparents)
+        return grandparent_bytes <= options.grandparent_overlap_limit()
+
+    def make_delete_edit(self) -> VersionEdit:
+        edit = VersionEdit()
+        for meta in self.inputs:
+            edit.delete_file(self.level, meta.number)
+        for meta in self.overlaps:
+            edit.delete_file(self.output_level, meta.number)
+        return edit
+
+
+def _range_of(files: List[FileMetaData]) -> "tuple[Optional[bytes], Optional[bytes]]":
+    if not files:
+        return None, None
+    smallest = min(f.smallest for f in files)
+    largest = max(f.largest for f in files)
+    return smallest[:-8], largest[:-8]
+
+
+def pick_size_compaction(
+    versions: VersionSet, options: Options
+) -> Optional[Compaction]:
+    """LevelDB's PickCompaction for the highest-scoring level."""
+    level, score = versions.pick_compaction_level()
+    if level is None:
+        return None
+    version = versions.current
+    pointer = versions.compact_pointer.get(level)
+    inputs: List[FileMetaData] = []
+    for meta in version.files[level]:
+        if pointer is None or meta.largest[:-8] > pointer:
+            inputs.append(meta)
+            break
+    if not inputs:
+        files = version.files[level]
+        if not files:
+            return None
+        inputs = [files[0]]
+    if level == 0:
+        begin, end = _range_of(inputs)
+        inputs = version.overlapping_inputs(0, begin, end)
+    return _setup_other_inputs(versions, options, level, inputs)
+
+
+def pick_seek_compaction(
+    versions: VersionSet,
+    options: Options,
+    level: int,
+    meta: FileMetaData,
+) -> Optional[Compaction]:
+    """Compact one over-seeked file into the next level."""
+    if level >= options.num_levels - 1:
+        return None
+    if meta.number not in {f.number for f in versions.current.files[level]}:
+        return None  # the file was compacted away in the meantime
+    inputs = [meta]
+    if level == 0:
+        # level-0 files overlap: every overlapping sibling must move
+        # together or an older version could end up above a newer one
+        begin, end = meta.user_range()
+        inputs = versions.current.overlapping_inputs(0, begin, end)
+    compaction = _setup_other_inputs(versions, options, level, inputs)
+    if compaction is not None:
+        compaction.is_seek = True
+    return compaction
+
+
+def _setup_other_inputs(
+    versions: VersionSet,
+    options: Options,
+    level: int,
+    inputs: List[FileMetaData],
+) -> Optional[Compaction]:
+    version = versions.current
+    begin, end = _range_of(inputs)
+    overlaps = version.overlapping_inputs(level + 1, begin, end)
+
+    # Try to grow the level-`level` input set without changing the
+    # level+1 inputs (LevelDB's expansion rule), bounded in size.
+    all_begin, all_end = _range_of(inputs + overlaps)
+    expanded = version.overlapping_inputs(level, all_begin, all_end)
+    if len(expanded) > len(inputs):
+        inputs_size = sum(f.file_size for f in inputs)
+        expanded_size = sum(f.file_size for f in expanded)
+        overlap_size = sum(f.file_size for f in overlaps)
+        if (
+            expanded_size + overlap_size
+            < options.expanded_compaction_limit()
+        ):
+            new_begin, new_end = _range_of(expanded)
+            new_overlaps = version.overlapping_inputs(
+                level + 1, new_begin, new_end
+            )
+            if len(new_overlaps) == len(overlaps):
+                inputs = expanded
+                begin, end = new_begin, new_end
+
+    grandparents: List[FileMetaData] = []
+    if level + 2 < options.num_levels:
+        gp_begin, gp_end = _range_of(inputs + overlaps)
+        grandparents = version.overlapping_inputs(level + 2, gp_begin, gp_end)
+
+    compaction = Compaction(
+        level=level,
+        inputs=inputs,
+        overlaps=overlaps,
+        grandparents=grandparents,
+    )
+    # Remember where to start next time at this level (round-robin).
+    if inputs:
+        versions.compact_pointer[level] = max(
+            f.largest[:-8] for f in inputs
+        )
+    return compaction
+
+
+class VersionKeeper:
+    """LevelDB's snapshot-aware drop rule during a compaction merge.
+
+    Walking entries in internal-key order (user key ascending, sequence
+    descending), a version is dropped once a *newer* version of the same
+    key exists at or below the smallest live snapshot — no reader can
+    ever observe it. Tombstones that reach the base level are dropped
+    too, once they are invisible to every snapshot.
+    """
+
+    def __init__(self, smallest_snapshot: int, drop_tombstones: bool) -> None:
+        self.smallest_snapshot = smallest_snapshot
+        self.drop_tombstones = drop_tombstones
+        self._last_user: Optional[bytes] = None
+        self._has_newer_visible_everywhere = False
+        self.dropped = 0
+
+    def keep(self, user_key: bytes, sequence: int, value_type: int) -> bool:
+        from repro.lsm.format import TYPE_DELETION
+
+        if user_key != self._last_user:
+            self._last_user = user_key
+            self._has_newer_visible_everywhere = False
+        if self._has_newer_visible_everywhere:
+            self.dropped += 1
+            return False
+        if sequence <= self.smallest_snapshot:
+            # this version is the newest one every snapshot can see;
+            # everything older for this key is shadowed
+            self._has_newer_visible_everywhere = True
+            if value_type == TYPE_DELETION and self.drop_tombstones:
+                self.dropped += 1
+                return False
+        return True
+
+
+class OutputCutter:
+    """Decides when to finish the current output file (LevelDB rules)."""
+
+    def __init__(self, compaction: Compaction, options: Options) -> None:
+        self.options = options
+        self.grandparents = compaction.grandparents
+        self._gp_index = 0
+        self._overlap_bytes = 0
+
+    def should_stop_before(self, user_key: bytes, current_output_size: int) -> bool:
+        if current_output_size >= self.options.max_file_size:
+            return True
+        # Advance through grandparents the key has passed, accumulating
+        # overlap; cut when the next output would overlap too much of
+        # level + 2.
+        while (
+            self._gp_index < len(self.grandparents)
+            and user_key > self.grandparents[self._gp_index].largest[:-8]
+        ):
+            self._overlap_bytes += self.grandparents[self._gp_index].file_size
+            self._gp_index += 1
+        if self._overlap_bytes > self.options.grandparent_overlap_limit():
+            self._overlap_bytes = 0
+            return True
+        return False
+
+    def reset_for_new_output(self) -> None:
+        self._overlap_bytes = 0

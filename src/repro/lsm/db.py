@@ -1,0 +1,916 @@
+"""The key-value store: LevelDB's architecture on the simulated stack.
+
+``DB`` implements the stock-LevelDB behaviour the paper compares against:
+
+- Put/Delete append to the WAL (unsynced, LevelDB's default) and insert
+  into the memtable;
+- a full memtable is sealed and dumped to an L0 SSTable by a *minor
+  compaction* on the background thread, synced per the store's
+  :class:`~repro.lsm.options.SyncPolicy`;
+- level scores trigger *major compactions* (merge-sort inputs, write new
+  tables, log a version edit); read misses trigger *seek compactions*;
+- writers observe LevelDB's stalls: the 1 ms L0 slowdown, the sealed-
+  memtable wait, and the L0 stop trigger.
+
+Background work is pulled lazily (see :mod:`repro.lsm.background`): the
+memtable dump always has priority, size compactions run as virtual time
+passes, and whatever backlog remains when a benchmark window closes is
+only executed by an explicit ``wait_for_background`` — matching how a
+real timed run leaves deep-level compactions for later.
+
+Subclasses (NobLSM, the baselines) override the small persistence hooks
+``_persist_major_outputs`` and ``_dispose_inputs`` to change *when and
+how* new SSTables are made durable — which is the entire design space
+the paper explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.fs.stack import StorageStack
+from repro.lsm.background import LazyExecutor
+from repro.lsm.compaction import (
+    Compaction,
+    OutputCutter,
+    VersionKeeper,
+    pick_seek_compaction,
+    pick_size_compaction,
+)
+from repro.lsm.filenames import (
+    current_file_name,
+    log_file_name,
+    parse_file_name,
+    table_file_name,
+)
+from repro.lsm.format import (
+    MAX_SEQUENCE,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    make_internal_key,
+)
+from repro.lsm.iterator import (
+    DBIterator,
+    LevelIterator,
+    MemTableIterator,
+    MergingIterator,
+)
+from repro.lsm.memtable import MemTable
+from repro.lsm.options import Options
+from repro.lsm.sstable import TableBuilder
+from repro.lsm.tablecache import TableCache
+from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
+from repro.lsm.wal import BatchEntry, LogReader, LogWriter
+
+MILLISECOND = 1_000_000
+
+#: (ready_time, work_fn) — a pulled background job
+BackgroundJob = Tuple[int, Callable[[int], int]]
+
+
+def _key_fraction(lo: bytes, hi: bytes, begin: bytes, end: bytes) -> float:
+    """Fraction of the key span [lo, hi] covered by [begin, end].
+
+    Keys are treated as base-256 fractions over their first 8 bytes —
+    coarse, but GetApproximateSizes is an estimate by contract.
+    """
+
+    def as_number(key: bytes) -> int:
+        return int.from_bytes(key[:8].ljust(8, b"\x00"), "big")
+
+    span = as_number(hi) - as_number(lo)
+    if span <= 0:
+        return 1.0
+    covered = max(as_number(end) - as_number(begin), 0)
+    return min(covered / span, 1.0)
+
+
+class Snapshot:
+    """A pinned read view: sees everything up to its sequence number.
+
+    Obtain with :meth:`DB.get_snapshot`; pass to ``get``/``scan``/
+    ``make_iterator``; release with :meth:`DB.release_snapshot` so
+    compactions may drop the versions it pinned.
+    """
+
+    __slots__ = ("sequence", "_released")
+
+    def __init__(self, sequence: int) -> None:
+        self.sequence = sequence
+        self._released = False
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else "live"
+        return f"Snapshot(seq={self.sequence}, {state})"
+
+
+@dataclass
+class DBStats:
+    """Store-level counters for the evaluation harness."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    scans: int = 0
+    minor_compactions: int = 0
+    major_compactions: int = 0
+    trivial_moves: int = 0
+    seek_compactions: int = 0
+    stall_ns: int = 0
+    slowdown_ns: int = 0
+    bytes_flushed: int = 0
+    bytes_compacted_in: int = 0
+    bytes_compacted_out: int = 0
+    wal_records: int = 0
+    recovered_records: int = 0
+    extras: Dict[str, int] = field(default_factory=dict)
+
+
+class DB:
+    """A LevelDB-like store bound to one :class:`StorageStack`."""
+
+    #: short name used by benchmark tables
+    store_name = "leveldb"
+
+    def __init__(
+        self,
+        stack: StorageStack,
+        dbname: str = "db",
+        options: Optional[Options] = None,
+    ) -> None:
+        self.stack = stack
+        self.fs = stack.fs
+        self.events = stack.events
+        self.cpu = stack.fs.cpu
+        self.dbname = dbname
+        self.options = options if options is not None else Options()
+        self.options.validate()
+        self.stats = DBStats()
+        self.table_cache = TableCache(
+            self.fs, dbname, block_cache_bytes=self.options.block_cache_bytes
+        )
+        self.versions = VersionSet(self.fs, dbname, self.options)
+        self.versions.validate_new_file = self._recovery_validator()
+        self.bg = LazyExecutor(self.options.background_threads)
+        self.mem = MemTable()
+        self._wal: Optional[LogWriter] = None
+        self._wal_number = 0
+        self._writer_free_at = 0
+        #: sealed memtable awaiting its dump: (memtable, old_log, ready_at)
+        self._pending_imm: Optional[Tuple[MemTable, int, int]] = None
+        self._pending_seek: Optional[Tuple[int, FileMetaData, int]] = None
+        self._snapshots: List[Snapshot] = []
+        self.closed = False
+        self._open(stack.now)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def get_snapshot(self) -> Snapshot:
+        """Pin the current state; reads through it never see later writes."""
+        snapshot = Snapshot(self.versions.last_sequence)
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    def release_snapshot(self, snapshot: Snapshot) -> None:
+        snapshot._released = True
+        self._snapshots = [s for s in self._snapshots if not s._released]
+
+    def _smallest_snapshot(self) -> int:
+        """The oldest sequence any reader may still need."""
+        if self._snapshots:
+            return min(s.sequence for s in self._snapshots)
+        return self.versions.last_sequence
+
+    @staticmethod
+    def _bound_of(snapshot: Optional[Snapshot]) -> Optional[int]:
+        if snapshot is None:
+            return None
+        if snapshot._released:
+            raise ValueError("snapshot was already released")
+        return snapshot.sequence
+
+    # ------------------------------------------------------------------
+    # open / recovery
+    # ------------------------------------------------------------------
+
+    def _open(self, at: int) -> None:
+        t = at
+        if self.fs.exists(current_file_name(self.dbname)):
+            t = self.versions.recover(t)
+            t = self._adopt_orphan_tables(t)
+            t = self._replay_logs(t)
+            self._delete_obsolete_files(t)
+        t = self._new_wal(t)
+        edit = VersionEdit(log_number=self._wal_number)
+        t = self.versions.log_and_apply(edit, t)
+
+    def _new_wal(self, at: int) -> int:
+        number = self.versions.new_file_number()
+        handle, t = self.fs.create(log_file_name(self.dbname, number), at=at)
+        self._wal = LogWriter(handle)
+        self._wal_number = number
+        return t
+
+    def _replay_logs(self, at: int) -> int:
+        """Rebuild the memtable from logs newer than the version's log."""
+        t = at
+        logs: List[int] = []
+        for path in self.fs.list_dir(self.dbname + "/"):
+            kind, number = parse_file_name(self.dbname, path)
+            if kind == "log" and number >= self.versions.log_number:
+                logs.append(number)
+        for number in sorted(logs):
+            handle, t = self.fs.open(log_file_name(self.dbname, number), at=t)
+            reader = LogReader(handle)
+            for sequence, entries in reader.records(at=t):
+                for offset, (value_type, key, value) in enumerate(entries):
+                    self.mem.add(sequence + offset, value_type, key, value)
+                    self.stats.recovered_records += 1
+                last = sequence + len(entries) - 1
+                if last > self.versions.last_sequence:
+                    self.versions.last_sequence = last
+                if (
+                    self.mem.approximate_memory_usage
+                    >= self.options.write_buffer_size
+                ):
+                    t = self._compact_memtable(self.mem, t)
+                    self.mem = MemTable()
+        if not self.mem.empty:
+            t = self._compact_memtable(self.mem, t)
+            self.mem = MemTable()
+        for number in sorted(logs):
+            t = self.fs.unlink(log_file_name(self.dbname, number), at=t)
+        return t
+
+    def _delete_obsolete_files(self, at: int) -> None:
+        """Drop files the recovered version does not reference."""
+        live = set(self.versions.current.all_file_numbers())
+        live |= self._protected_table_numbers()
+        for path in list(self.fs.list_dir(self.dbname + "/")):
+            kind, number = parse_file_name(self.dbname, path)
+            delete = False
+            if kind == "table" and number not in live:
+                delete = True
+                self.table_cache.evict(number)
+            elif kind == "temp":
+                delete = True
+            elif kind == "manifest" and (
+                number != self.versions.manifest_file_number
+            ):
+                delete = True
+            if delete:
+                self.fs.unlink(path, at=at)
+
+    def _protected_table_numbers(self) -> "set[int]":
+        """Table numbers to keep even when unreferenced (NobLSM shadows)."""
+        return set()
+
+    def _recovery_validator(self):
+        """Hook: per-file validation during MANIFEST recovery.
+
+        Stock LevelDB syncs tables before the MANIFEST references them,
+        so no validation is needed; NobLSM overrides this because its
+        async-committed tables can be lost behind a durable MANIFEST.
+        """
+        return None
+
+    def _adopt_orphan_tables(self, at: int) -> int:
+        """Hook: rescue durable tables the MANIFEST lost (NobLSM only)."""
+        return at
+
+    # ------------------------------------------------------------------
+    # background scheduling (pull model)
+    # ------------------------------------------------------------------
+
+    def _l0_live_count(self) -> int:
+        return sum(1 for f in self.versions.current.files[0] if not f.shadow)
+
+    def _pick_background_work(self) -> Optional[BackgroundJob]:
+        """Next background job, LevelDB priority: dump, size, seek."""
+        if self._pending_imm is not None:
+            imm, old_log, ready = self._pending_imm
+            return ready, (
+                lambda start: self._minor_compaction_work(imm, old_log, start)
+            )
+        compaction = self._pick_size_compaction()
+        if compaction is not None:
+            return 0, (
+                lambda start, c=compaction: self._major_compaction_work(c, start)
+            )
+        if self._pending_seek is not None:
+            level, meta, ready = self._pending_seek
+            self._pending_seek = None
+            seek = pick_seek_compaction(self.versions, self.options, level, meta)
+            if seek is not None:
+                return ready, (
+                    lambda start, c=seek: self._major_compaction_work(c, start)
+                )
+        return None
+
+    def _pick_size_compaction(self) -> Optional[Compaction]:
+        """Hook: choose the next size-triggered compaction."""
+        return pick_size_compaction(self.versions, self.options)
+
+    def _advance_background(self, t: int) -> None:
+        """Run pending background jobs whose start falls at or before ``t``."""
+        while self.bg.earliest_free() <= t:
+            picked = self._pick_background_work()
+            if picked is None:
+                return
+            ready, work = picked
+            self.bg.execute(ready, work)
+
+    def _run_one_background_job(self) -> Optional[int]:
+        picked = self._pick_background_work()
+        if picked is None:
+            return None
+        ready, work = picked
+        return self.bg.execute(ready, work)
+
+    def compact_range(self, at: int) -> int:
+        """Manual full compaction (LevelDB's CompactRange over everything).
+
+        Dumps the memtable, then repeatedly compacts the shallowest
+        populated level down until each level's data sits as deep as it
+        can — db_bench's ``compact`` step between fill and read phases.
+        """
+        t = at
+        if not self.mem.empty:
+            t = self._switch_memtable(t)
+        t = self.wait_for_background(t)
+        for level in range(0, self.options.num_levels - 1):
+            for _ in range(10_000):
+                files = [
+                    f for f in self.versions.current.files[level] if not f.shadow
+                ]
+                if not files:
+                    break
+                compaction = pick_seek_compaction(
+                    self.versions, self.options, level, files[0]
+                )
+                if compaction is None:
+                    break
+                compaction.is_seek = False
+                done = self.bg.execute(
+                    t, lambda start, c=compaction: self._major_compaction_work(c, start)
+                )
+                t = max(t, done)
+            t = self.wait_for_background(t)
+        return t
+
+    def wait_for_background(self, at: int) -> int:
+        """Drain every pending background job; returns the drain time."""
+        t = at
+        for _ in range(1_000_000):
+            done = self._run_one_background_job()
+            if done is None:
+                break
+            t = max(t, done)
+        t = max(t, self.bg.latest_free())
+        self.events.run_until(t)
+        return t
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes, at: int) -> int:
+        self.stats.puts += 1
+        return self.write([(TYPE_VALUE, key, value)], at)
+
+    def delete(self, key: bytes, at: int) -> int:
+        self.stats.deletes += 1
+        return self.write([(TYPE_DELETION, key, b"")], at)
+
+    def apply(self, batch, at: int) -> int:
+        """Apply a :class:`~repro.lsm.write_batch.WriteBatch` atomically."""
+        if len(batch) == 0:
+            return at
+        return self.write(batch.entries, at)
+
+    def write(self, entries: List[BatchEntry], at: int) -> int:
+        """Apply a write batch; returns the caller's completion time."""
+        if self.closed:
+            raise RuntimeError("DB is closed")
+        t = max(at, self._writer_free_at)
+        self.events.run_until(t)
+        self._advance_background(t)
+        t = self._make_room(t)
+        sequence = self.versions.last_sequence + 1
+        self.versions.last_sequence += len(entries)
+        t = self._wal.add_record(sequence, entries, at=t)
+        self.stats.wal_records += 1
+        if self.options.sync.sync_wal:
+            t = self._wal.handle.fsync(at=t, reason="wal")
+        for offset, (value_type, key, value) in enumerate(entries):
+            self.mem.add(sequence + offset, value_type, key, value)
+            t += self.cpu.memtable_insert_ns
+        self._writer_free_at = t
+        return t
+
+    def _make_room(self, at: int) -> int:
+        """LevelDB's MakeRoomForWrite: stalls, switches, triggers."""
+        t = at
+        allow_delay = True
+        while True:
+            l0_count = self._l0_live_count()
+            if (
+                allow_delay
+                and l0_count >= self.options.l0_slowdown_writes_trigger
+                and l0_count < self.options.l0_stop_writes_trigger
+            ):
+                t += MILLISECOND
+                self.stats.slowdown_ns += MILLISECOND
+                allow_delay = False
+                self._advance_background(t)
+                continue
+            if (
+                self.mem.approximate_memory_usage
+                < self.options.write_buffer_size
+            ):
+                return t
+            if self._pending_imm is not None:
+                # previous memtable not dumped yet: the writer stalls
+                # until the background thread gets to it (dump first)
+                resumed = t
+                while self._pending_imm is not None:
+                    done = self._run_one_background_job()
+                    if done is None:
+                        break
+                    resumed = max(resumed, done)
+                self.stats.stall_ns += resumed - t
+                t = resumed
+                continue
+            if l0_count >= self.options.l0_stop_writes_trigger:
+                resumed = self._wait_for_l0_drain(t)
+                self.stats.stall_ns += resumed - t
+                t = resumed
+                continue
+            t = self._switch_memtable(t)
+
+    def _wait_for_l0_drain(self, at: int) -> int:
+        """Blocked writer: run background jobs until L0 falls below stop."""
+        t = at
+        for _ in range(100_000):
+            if self._l0_live_count() < self.options.l0_stop_writes_trigger:
+                break
+            done = self._run_one_background_job()
+            if done is None:
+                break
+            t = max(t, done)
+        return t
+
+    def _switch_memtable(self, at: int) -> int:
+        """Seal the memtable, open a new WAL, leave the dump to the bg.
+
+        If a previously sealed memtable is still awaiting its dump, the
+        caller waits for it here — overwriting ``_pending_imm`` would
+        silently lose data.
+        """
+        t = at
+        while self._pending_imm is not None:
+            done = self._run_one_background_job()
+            if done is None:
+                raise RuntimeError("sealed memtable pending but no job runnable")
+            t = max(t, done)
+        imm = self.mem
+        old_log = self._wal_number
+        self.mem = MemTable()
+        t = self._new_wal(t)
+        self._pending_imm = (imm, old_log, t)
+        self._advance_background(t)  # dump immediately if a thread is free
+        return t
+
+    # ------------------------------------------------------------------
+    # minor compaction
+    # ------------------------------------------------------------------
+
+    def _minor_compaction_work(
+        self, imm: MemTable, old_log_number: int, at: int
+    ) -> int:
+        self._pending_imm = None
+        t = self._compact_memtable(imm, at)
+        t = self.fs.unlink(log_file_name(self.dbname, old_log_number), at=t)
+        return t
+
+    def _compact_memtable(self, imm: MemTable, at: int) -> int:
+        """Dump a sealed memtable to an L0 (or pushed-down) SSTable."""
+        if imm.empty:
+            return at
+        self.stats.minor_compactions += 1
+        number = self.versions.new_file_number()
+        path = table_file_name(self.dbname, number)
+        builder = TableBuilder(self.fs, path, self.options, at, number=number)
+        t = at
+        count = 0
+        for user_key, sequence, value_type, value in imm.sorted_entries():
+            builder.add(make_internal_key(user_key, sequence, value_type), value)
+            count += 1
+        t += count * self.cpu.merge_entry_ns
+        size, t = builder.finish(t)
+        self.stats.bytes_flushed += size
+        handle = builder.handle
+        if self.options.sync.sync_minor:
+            t = handle.fdatasync(at=t, reason="minor")
+        meta = FileMetaData(
+            number=number,
+            file_size=size,
+            smallest=builder.smallest,
+            largest=builder.largest,
+            ino=handle.ino,
+        )
+        level = self.versions.current.pick_level_for_memtable_output(
+            meta.smallest[:-8], meta.largest[:-8], self.options
+        )
+        t = self._persist_minor_output(meta, t)
+        edit = VersionEdit(log_number=self._wal_number)
+        edit.add_file(level, meta)
+        t = self.versions.log_and_apply(edit, t)
+        return t
+
+    def _persist_minor_output(self, meta: FileMetaData, at: int) -> int:
+        """Hook: extra durability work for a fresh L0 table (NobLSM: none,
+        the fdatasync above is the single per-KV sync)."""
+        return at
+
+    # ------------------------------------------------------------------
+    # major / seek compactions
+    # ------------------------------------------------------------------
+
+    def _major_compaction_work(self, compaction: Compaction, at: int) -> int:
+        if compaction.is_trivial_move(self.options):
+            return self._trivial_move(compaction, at)
+        self.stats.major_compactions += 1
+        if compaction.is_seek:
+            self.stats.seek_compactions += 1
+        t = at
+        entries: List[Tuple[bytes, bytes]] = []
+        for meta in compaction.all_inputs:
+            table, t = self.table_cache.get_table(meta.number, at=t)
+            file_entries, t = table.all_entries(at=t)
+            entries.extend(file_entries)
+        self.stats.bytes_compacted_in += compaction.input_bytes
+        entries.sort(
+            key=lambda kv: (kv[0][:-8], ~int.from_bytes(kv[0][-8:], "little"))
+        )
+        t += len(entries) * self.cpu.merge_entry_ns
+
+        keeper = VersionKeeper(
+            self._smallest_snapshot(), self._is_base_level(compaction)
+        )
+        cutter = OutputCutter(compaction, self.options)
+        outputs: List[FileMetaData] = []
+        builder: Optional[TableBuilder] = None
+        for internal_key, value in entries:
+            user_key = internal_key[:-8]
+            tag = int.from_bytes(internal_key[-8:], "little")
+            if not keeper.keep(user_key, tag >> 8, tag & 0xFF):
+                continue
+            if builder is not None and cutter.should_stop_before(
+                user_key, builder.current_size
+            ):
+                builder, t = self._finish_output(builder, outputs, t)
+                cutter.reset_for_new_output()
+            if builder is None:
+                number = self.versions.new_file_number()
+                builder = TableBuilder(
+                    self.fs,
+                    table_file_name(self.dbname, number),
+                    self.options,
+                    t,
+                    number=number,
+                )
+            builder.add(internal_key, value)
+        if builder is not None and builder.num_entries:
+            builder, t = self._finish_output(builder, outputs, t)
+        elif builder is not None:
+            t = builder.abandon(t)
+
+        t = self._persist_major_outputs(outputs, t)
+        edit = compaction.make_delete_edit()
+        for meta in outputs:
+            edit.add_file(compaction.output_level, meta)
+        if compaction.inputs:
+            edit.compact_pointers.append(
+                (
+                    compaction.level,
+                    max(f.largest[:-8] for f in compaction.inputs),
+                )
+            )
+        t = self.versions.log_and_apply(edit, t)
+        t = self._dispose_inputs(compaction, outputs, t)
+        return t
+
+    def _finish_output(
+        self,
+        builder: TableBuilder,
+        outputs: List[FileMetaData],
+        at: int,
+    ) -> Tuple[None, int]:
+        size, t = builder.finish(at)
+        self.stats.bytes_compacted_out += size
+        outputs.append(
+            FileMetaData(
+                number=builder.number,
+                file_size=size,
+                smallest=builder.smallest,
+                largest=builder.largest,
+                ino=builder.handle.ino,
+            )
+        )
+        return None, t
+
+    def _trivial_move(self, compaction: Compaction, at: int) -> int:
+        self.stats.trivial_moves += 1
+        meta = compaction.inputs[0]
+        edit = VersionEdit()
+        edit.delete_file(compaction.level, meta.number)
+        edit.add_file(compaction.output_level, meta)
+        return self.versions.log_and_apply(edit, at)
+
+    def _is_base_level(self, compaction: Compaction) -> bool:
+        """True when no level deeper than the output overlaps the range."""
+        begin = min(
+            (f.smallest[:-8] for f in compaction.all_inputs), default=None
+        )
+        end = max((f.largest[:-8] for f in compaction.all_inputs), default=None)
+        for level in range(
+            compaction.output_level + 1, self.options.num_levels
+        ):
+            if self.versions.current.overlapping_inputs(level, begin, end):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # persistence hooks (overridden by NobLSM / baselines)
+    # ------------------------------------------------------------------
+
+    def _persist_major_outputs(
+        self, outputs: List[FileMetaData], at: int
+    ) -> int:
+        """Stock LevelDB: fdatasync every new SSTable before installing."""
+        t = at
+        if self.options.sync.sync_major:
+            for meta in outputs:
+                handle, t = self.fs.open(
+                    table_file_name(self.dbname, meta.number), at=t
+                )
+                t = handle.fdatasync(at=t, reason="major")
+        return t
+
+    def _dispose_inputs(
+        self,
+        compaction: Compaction,
+        outputs: List[FileMetaData],
+        at: int,
+    ) -> int:
+        """Stock LevelDB: old SSTables are deleted immediately."""
+        t = at
+        for meta in compaction.all_inputs:
+            self.table_cache.evict(meta.number)
+            path = table_file_name(self.dbname, meta.number)
+            if self.fs.exists(path):
+                t = self.fs.unlink(path, at=t)
+        return t
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def get(
+        self,
+        key: bytes,
+        at: int,
+        snapshot: Optional[Snapshot] = None,
+    ) -> Tuple[Optional[bytes], int]:
+        """Point lookup; returns (value or None, completion_time).
+
+        With a ``snapshot``, the lookup sees the newest version at or
+        below the snapshot's sequence number.
+        """
+        if self.closed:
+            raise RuntimeError("DB is closed")
+        self.stats.gets += 1
+        bound = self._bound_of(snapshot)
+        table_bound = bound if bound is not None else MAX_SEQUENCE
+        t = at + self.cpu.memtable_lookup_ns
+        self.events.run_until(t)
+        self._advance_background(t)
+        hit = self.mem.get(key, sequence_bound=bound)
+        if hit is not None:
+            found, value = hit
+            return (value if found else None), t
+        if self._pending_imm is not None:
+            hit = self._pending_imm[0].get(key, sequence_bound=bound)
+            if hit is not None:
+                t += self.cpu.memtable_lookup_ns
+                found, value = hit
+                return (value if found else None), t
+        first_probe: Optional[Tuple[int, FileMetaData]] = None
+        probes = 0
+        for level, meta in self._files_for_get(key):
+            table, t = self.table_cache.get_table(meta.number, at=t)
+            result, t = table.get(key, at=t, sequence_bound=table_bound)
+            probes += 1
+            if probes == 1:
+                first_probe = (level, meta)
+            if result is not None:
+                if probes > 1:
+                    self._charge_seek(first_probe, t)
+                found, value = result
+                return (value if found else None), t
+        if probes > 1:
+            self._charge_seek(first_probe, t)
+        return None, t
+
+    def _files_for_get(self, key: bytes) -> List[Tuple[int, FileMetaData]]:
+        """Hook: candidate files in search order (PebblesDB overrides)."""
+        return self.versions.current.files_for_get(key)
+
+    def _charge_seek(
+        self, probe: Optional[Tuple[int, FileMetaData]], at: int
+    ) -> None:
+        if probe is None or not self.options.seek_compaction:
+            return
+        level, meta = probe
+        meta.allowed_seeks -= 1
+        if meta.allowed_seeks <= 0 and self._pending_seek is None:
+            meta.allowed_seeks = max(meta.file_size // 16384, 100)
+            self._pending_seek = (level, meta, at)
+
+    def _iterator_sources(self, at: int) -> List[object]:
+        """Merge sources: memtables, L0 tables, one iterator per level."""
+        sources: List[object] = [MemTableIterator(self.mem, at)]
+        if self._pending_imm is not None:
+            sources.append(MemTableIterator(self._pending_imm[0], at))
+        t = at
+        version = self.versions.current
+        for meta in sorted(
+            version.files[0], key=lambda f: f.number, reverse=True
+        ):
+            if meta.shadow:
+                continue
+            table, t = self.table_cache.get_table(meta.number, at=t)
+            sources.append(table.iterate(t))
+        for level in range(1, self.options.num_levels):
+            files = [f for f in version.files[level] if not f.shadow]
+            if files:
+                sources.append(LevelIterator(self, files, t))
+        return sources
+
+    def make_iterator(
+        self, at: int, snapshot: Optional[Snapshot] = None
+    ) -> DBIterator:
+        """An unpositioned iterator; seek it before reading."""
+        self._advance_background(at)
+        merger = MergingIterator(
+            self._iterator_sources(at), self.cpu.iter_next_ns
+        )
+        return DBIterator(merger, sequence_bound=self._bound_of(snapshot))
+
+    def iterate(
+        self, at: int, snapshot: Optional[Snapshot] = None
+    ) -> DBIterator:
+        """Full-store iterator positioned at the first key (readseq)."""
+        iterator = self.make_iterator(at, snapshot=snapshot)
+        iterator.seek_to_first()
+        return iterator
+
+    def scan(
+        self,
+        start_key: bytes,
+        count: int,
+        at: int,
+        snapshot: Optional[Snapshot] = None,
+    ) -> Tuple[List[Tuple[bytes, bytes]], int]:
+        """Range scan of up to ``count`` pairs from ``start_key``."""
+        self.stats.scans += 1
+        iterator = self.make_iterator(at, snapshot=snapshot)
+        iterator.seek(start_key)
+        results: List[Tuple[bytes, bytes]] = []
+        while iterator.valid and len(results) < count:
+            results.append((iterator.key, iterator.value))
+            iterator.next()
+        return results, max(iterator.time, at)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, at: int) -> int:
+        """Wait out background work and close (memtable stays in the WAL)."""
+        t = self.wait_for_background(at)
+        self.closed = True
+        return t
+
+    def get_property(self, name: str) -> Optional[str]:
+        """LevelDB's GetProperty: stringly-typed introspection.
+
+        Supported: ``leveldb.num-files-at-level<N>``, ``leveldb.stats``,
+        ``leveldb.sstables``, ``leveldb.approximate-memory-usage``.
+        """
+        prefix = "leveldb."
+        if not name.startswith(prefix):
+            return None
+        name = name[len(prefix):]
+        if name.startswith("num-files-at-level"):
+            try:
+                level = int(name[len("num-files-at-level"):])
+            except ValueError:
+                return None
+            if not 0 <= level < self.options.num_levels:
+                return None
+            return str(len(self.versions.current.files[level]))
+        if name == "approximate-memory-usage":
+            usage = self.mem.approximate_memory_usage
+            if self._pending_imm is not None:
+                usage += self._pending_imm[0].approximate_memory_usage
+            usage += self.table_cache.block_cache.used_bytes
+            return str(usage)
+        if name == "stats":
+            lines = ["Compactions", "Level  Files Size(KB)", "-" * 24]
+            for level, files in enumerate(self.versions.current.files):
+                if files:
+                    size_kb = sum(f.file_size for f in files) // 1024
+                    lines.append(f"{level:5d} {len(files):6d} {size_kb:8d}")
+            return "\n".join(lines)
+        if name == "sstables":
+            lines = []
+            for level, files in enumerate(self.versions.current.files):
+                for meta in files:
+                    lines.append(
+                        f"level {level}: {meta.number} "
+                        f"[{meta.smallest[:-8]!r} .. {meta.largest[:-8]!r}]"
+                    )
+            return "\n".join(lines)
+        return None
+
+    def get_approximate_sizes(
+        self, ranges: List[Tuple[bytes, bytes]]
+    ) -> List[int]:
+        """LevelDB's GetApproximateSizes: on-disk bytes per key range.
+
+        Approximates each file's contribution by linear interpolation of
+        the range overlap over the file's key span.
+        """
+        results = []
+        for begin, end in ranges:
+            if begin > end:
+                raise ValueError(f"inverted range {begin!r} > {end!r}")
+            total = 0
+            for files in self.versions.current.files:
+                for meta in files:
+                    if meta.shadow:
+                        continue
+                    lo, hi = meta.user_range()
+                    if hi < begin or lo > end:
+                        continue
+                    if begin <= lo and hi <= end:
+                        total += meta.file_size
+                    else:
+                        # partial overlap: pro-rate by key-space fraction
+                        span = _key_fraction(lo, hi, max(begin, lo), min(end, hi))
+                        total += int(meta.file_size * span)
+            results.append(total)
+        return results
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable snapshot of the store's structure and stats."""
+        version = self.versions.current
+        levels = {
+            f"L{level}": {
+                "files": len(files),
+                "bytes": sum(f.file_size for f in files),
+            }
+            for level, files in enumerate(version.files)
+            if files
+        }
+        return {
+            "store": self.store_name,
+            "levels": levels,
+            "memtable_bytes": self.mem.approximate_memory_usage,
+            "pending_imm": self._pending_imm is not None,
+            "last_sequence": self.versions.last_sequence,
+            "stats": {
+                "puts": self.stats.puts,
+                "gets": self.stats.gets,
+                "minor_compactions": self.stats.minor_compactions,
+                "major_compactions": self.stats.major_compactions,
+                "trivial_moves": self.stats.trivial_moves,
+                "seek_compactions": self.stats.seek_compactions,
+                "stall_ms": self.stats.stall_ns / 1e6,
+                "bytes_flushed": self.stats.bytes_flushed,
+                "bytes_compacted_out": self.stats.bytes_compacted_out,
+            },
+        }
+
+    # convenience for tests ------------------------------------------------
+
+    def get_str(self, key: str, at: int) -> Tuple[Optional[bytes], int]:
+        return self.get(key.encode(), at)
+
+    def put_str(self, key: str, value: str, at: int) -> int:
+        return self.put(key.encode(), value.encode(), at)

@@ -1,0 +1,51 @@
+"""LevelDB-style file naming inside a database directory."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+def table_file_name(dbname: str, number: int) -> str:
+    return f"{dbname}/{number:06d}.ldb"
+
+
+def log_file_name(dbname: str, number: int) -> str:
+    return f"{dbname}/{number:06d}.log"
+
+
+def manifest_file_name(dbname: str, number: int) -> str:
+    return f"{dbname}/MANIFEST-{number:06d}"
+
+
+def current_file_name(dbname: str) -> str:
+    return f"{dbname}/CURRENT"
+
+
+def temp_file_name(dbname: str, number: int) -> str:
+    return f"{dbname}/{number:06d}.dbtmp"
+
+
+def parse_file_name(dbname: str, path: str) -> Tuple[str, Optional[int]]:
+    """Classify a path inside ``dbname``.
+
+    Returns (kind, number) where kind is one of 'table', 'log',
+    'manifest', 'current', 'temp' or 'unknown'.
+    """
+    prefix = dbname + "/"
+    if not path.startswith(prefix):
+        return "unknown", None
+    name = path[len(prefix):]
+    if name == "CURRENT":
+        return "current", None
+    if name.startswith("MANIFEST-"):
+        try:
+            return "manifest", int(name[len("MANIFEST-"):])
+        except ValueError:
+            return "unknown", None
+    for suffix, kind in ((".ldb", "table"), (".log", "log"), (".dbtmp", "temp")):
+        if name.endswith(suffix):
+            try:
+                return kind, int(name[: -len(suffix)])
+            except ValueError:
+                return "unknown", None
+    return "unknown", None

@@ -1,0 +1,278 @@
+"""Merging iterators over memtable + SSTables.
+
+Sources yield entries in internal-key order (user key ascending, newer
+sequence first). The DB-level iterator collapses versions: the first
+entry seen for a user key wins, tombstones suppress the key entirely.
+All sources and the merger carry virtual time, so a full ``readseq``
+sweep charges realistic CPU and any cold block reads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lsm.format import (
+    TYPE_DELETION,
+    internal_compare,
+    make_internal_key,
+    MAX_SEQUENCE,
+    TYPE_VALUE,
+)
+from repro.lsm.memtable import MemTable
+
+
+class MemTableIterator:
+    """Iterates a memtable's entries as internal keys (sorted once)."""
+
+    def __init__(self, memtable: MemTable, at: int) -> None:
+        self._entries: List[Tuple[bytes, bytes]] = []
+        for user_key, sequence, value_type, value in memtable.sorted_entries():
+            self._entries.append(
+                (make_internal_key(user_key, sequence, value_type), value)
+            )
+        self._pos = 0
+        self.time = at
+
+    def seek_to_first(self) -> None:
+        self._pos = 0
+
+    @property
+    def valid(self) -> bool:
+        return self._pos < len(self._entries)
+
+    @property
+    def key(self) -> bytes:
+        return self._entries[self._pos][0]
+
+    @property
+    def value(self) -> bytes:
+        return self._entries[self._pos][1]
+
+    def seek(self, target: bytes) -> None:
+        lo, hi = 0, len(self._entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if internal_compare(self._entries[mid][0], target) < 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._pos = lo
+
+    def next(self) -> None:
+        self._pos += 1
+
+
+class LevelIterator:
+    """Concatenating iterator over one sorted, disjoint level.
+
+    Only the file currently under the cursor is open; a seek bisects the
+    file list and opens a single table (LevelDB's two-level iterator),
+    so scans over stores with many files stay cheap.
+    """
+
+    def __init__(self, db, files: List[object], at: int) -> None:
+        self._db = db
+        self._files = files
+        self.time = at
+        self._file_pos = len(files)  # unpositioned == exhausted
+        self._iter = None
+
+    def _open_file(self, pos: int) -> None:
+        self._file_pos = pos
+        if pos >= len(self._files):
+            self._iter = None
+            return
+        table, self.time = self._db.table_cache.get_table(
+            self._files[pos].number, at=self.time
+        )
+        self._iter = table.iterate(self.time)
+
+    @property
+    def valid(self) -> bool:
+        return self._iter is not None and self._iter.valid
+
+    @property
+    def key(self) -> bytes:
+        return self._iter.key
+
+    @property
+    def value(self) -> bytes:
+        return self._iter.value
+
+    def seek_to_first(self) -> None:
+        self._open_file(0)
+        if self._iter is not None:
+            self.time = max(self.time, self._iter.time)
+            self._iter.time = self.time
+            self._iter.seek_to_first()
+            self.time = self._iter.time
+
+    def seek(self, target: bytes) -> None:
+        user_target = target[:-8]
+        lo, hi = 0, len(self._files)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._files[mid].largest[:-8] < user_target:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._open_file(lo)
+        if self._iter is not None:
+            self._iter.seek(target)
+            self.time = self._iter.time
+            if not self._iter.valid:
+                self._advance_file()
+
+    def _advance_file(self) -> None:
+        self._open_file(self._file_pos + 1)
+        if self._iter is not None:
+            self._iter.seek_to_first()
+            self.time = self._iter.time
+
+    def next(self) -> None:
+        if self._iter is None:
+            raise StopIteration("level iterator exhausted")
+        self._iter.next()
+        self.time = self._iter.time
+        if not self._iter.valid:
+            self._advance_file()
+
+
+class MergingIterator:
+    """K-way merge of memtable/table iterators in internal-key order.
+
+    The merger carries its own serial clock: one reader thread performs
+    every advance, so per-entry CPU and each source's block-read costs
+    accumulate on ``self.time`` rather than parallelising across sources.
+    """
+
+    def __init__(self, sources: List[object], cpu_iter_next_ns: int) -> None:
+        self._sources = sources
+        self._iter_next_ns = cpu_iter_next_ns
+        self._current: Optional[object] = None
+        self._time = max((s.time for s in sources), default=0)
+
+    def seek_to_first(self) -> None:
+        for source in self._sources:
+            before = source.time
+            source.seek_to_first()
+            self._time += max(source.time - before, 0)
+        self._find_smallest()
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def valid(self) -> bool:
+        return self._current is not None
+
+    @property
+    def key(self) -> bytes:
+        return self._current.key
+
+    @property
+    def value(self) -> bytes:
+        return self._current.value
+
+    def _find_smallest(self) -> None:
+        smallest = None
+        for source in self._sources:
+            if source.valid and (
+                smallest is None
+                or internal_compare(source.key, smallest.key) < 0
+            ):
+                smallest = source
+        self._current = smallest
+
+    def seek(self, target: bytes) -> None:
+        for source in self._sources:
+            before = source.time
+            source.seek(target)
+            self._time += max(source.time - before, 0)
+        self._find_smallest()
+
+    def next(self) -> None:
+        if self._current is None:
+            raise StopIteration("merging iterator exhausted")
+        before = self._current.time
+        self._current.next()
+        self._time += self._iter_next_ns + max(self._current.time - before, 0)
+        self._find_smallest()
+
+
+class DBIterator:
+    """User-facing iterator: latest version per key, tombstones skipped.
+
+    Construction is lazy: call :meth:`seek` or :meth:`seek_to_first`
+    before reading (a fresh iterator is not ``valid`` until positioned).
+    With a ``sequence_bound`` (snapshot reads), versions newer than the
+    bound are invisible.
+    """
+
+    def __init__(
+        self,
+        merger: MergingIterator,
+        sequence_bound: Optional[int] = None,
+    ) -> None:
+        self._merger = merger
+        self._seq_bound = sequence_bound
+        self._key: Optional[bytes] = None
+        self._value: Optional[bytes] = None
+
+    def seek_to_first(self) -> None:
+        self._merger.seek_to_first()
+        self._skip_to_live()
+
+    @property
+    def time(self) -> int:
+        return self._merger.time
+
+    @property
+    def valid(self) -> bool:
+        return self._key is not None
+
+    @property
+    def key(self) -> bytes:
+        return self._key
+
+    @property
+    def value(self) -> bytes:
+        return self._value
+
+    def _skip_to_live(self) -> None:
+        last_user: Optional[bytes] = None
+        while self._merger.valid:
+            internal = self._merger.key
+            user_key = internal[:-8]
+            tag = int.from_bytes(internal[-8:], "little")
+            value_type = tag & 0xFF
+            if self._seq_bound is not None and (tag >> 8) > self._seq_bound:
+                self._merger.next()  # invisible to this snapshot
+                continue
+            if user_key == last_user:
+                self._merger.next()
+                continue
+            last_user = user_key
+            if value_type == TYPE_DELETION:
+                self._merger.next()
+                continue
+            self._key = user_key
+            self._value = self._merger.value
+            return
+        self._key = None
+        self._value = None
+
+    def seek(self, user_key: bytes) -> None:
+        self._merger.seek(make_internal_key(user_key, MAX_SEQUENCE, TYPE_VALUE))
+        self._skip_to_live()
+
+    def next(self) -> None:
+        if self._key is None:
+            raise StopIteration("iterator exhausted")
+        current = self._key
+        # advance past every version of the current key, then find the
+        # next live one
+        while self._merger.valid and self._merger.key[:-8] == current:
+            self._merger.next()
+        self._skip_to_live()

@@ -1,0 +1,90 @@
+"""The in-memory memtable.
+
+LevelDB's skiplist keeps *every* version of a key until the memtable is
+dumped; so does this one (a hash map of per-key version lists, sorted
+once at dump time — a minor compaction sorts anyway). Keeping versions
+is what makes snapshots work: a reader pinned at sequence S sees the
+newest version with sequence <= S.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lsm.format import TYPE_DELETION, TYPE_VALUE
+
+#: rough per-entry bookkeeping overhead, mirroring LevelDB's arena cost
+ENTRY_OVERHEAD = 24
+
+#: (sequence, value_type, value), newest first
+Version = Tuple[int, int, bytes]
+
+
+class MemTable:
+    """Mutable in-memory table of all buffered versions per user key."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[bytes, List[Version]] = {}
+        self._bytes = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        """Number of buffered entries (versions, not unique keys)."""
+        return self._count
+
+    @property
+    def approximate_memory_usage(self) -> int:
+        return self._bytes
+
+    @property
+    def empty(self) -> bool:
+        return self._count == 0
+
+    def add(self, sequence: int, value_type: int, key: bytes, value: bytes) -> None:
+        """Insert a put (TYPE_VALUE) or tombstone (TYPE_DELETION)."""
+        if value_type not in (TYPE_VALUE, TYPE_DELETION):
+            raise ValueError(f"bad value type {value_type}")
+        versions = self._entries.setdefault(key, [])
+        entry = (sequence, value_type, value)
+        if versions and sequence < versions[0][0]:
+            # out-of-order insert (only happens in WAL replay edge cases):
+            # keep the list newest-first
+            versions.append(entry)
+            versions.sort(key=lambda v: -v[0])
+        else:
+            versions.insert(0, entry)
+        self._bytes += len(key) + len(value) + ENTRY_OVERHEAD
+        self._count += 1
+
+    def get(
+        self, key: bytes, sequence_bound: Optional[int] = None
+    ) -> Optional[Tuple[bool, bytes]]:
+        """Look up the newest version of ``key`` at or below the bound.
+
+        Returns ``None`` if the memtable holds nothing visible for the
+        key, ``(True, value)`` for a live value, ``(False, b"")`` when
+        the visible version is a deletion.
+        """
+        versions = self._entries.get(key)
+        if not versions:
+            return None
+        for sequence, value_type, value in versions:
+            if sequence_bound is not None and sequence > sequence_bound:
+                continue
+            if value_type == TYPE_DELETION:
+                return (False, b"")
+            return (True, value)
+        return None
+
+    def sorted_entries(self) -> Iterator[Tuple[bytes, int, int, bytes]]:
+        """Yield (user_key, sequence, type, value): keys ascending,
+        versions newest-first within a key (internal-key order)."""
+        for key in sorted(self._entries):
+            for sequence, value_type, value in self._entries[key]:
+                yield key, sequence, value_type, value
+
+    def smallest_key(self) -> bytes:
+        return min(self._entries)
+
+    def largest_key(self) -> bytes:
+        return max(self._entries)

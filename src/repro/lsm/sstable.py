@@ -1,0 +1,350 @@
+"""SSTable writer and reader.
+
+Layout::
+
+    [data block 0] ... [data block N-1]
+    [bloom filter]
+    [index block]   entries: last internal key of block -> (offset, size)
+    [footer]        bloom_offset, bloom_size, index_offset, index_size, magic
+
+Keys inside data blocks are *internal* keys (user key + sequence tag);
+index keys are the last internal key of each block. All sizes are real —
+the simulated device is charged for exactly the bytes a real LevelDB
+would move.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.fs.ext4 import Ext4, File
+from repro.lsm.block import Block, BlockBuilder
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.format import (
+    CorruptionError,
+    MAX_SEQUENCE,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    get_fixed64,
+    internal_compare,
+    make_internal_key,
+    parse_internal_key,
+    put_fixed64,
+)
+from repro.lsm.options import Options
+
+FOOTER_SIZE = 40
+TABLE_MAGIC = 0xDB4775248B80FB57
+
+
+class TableBuilder:
+    """Builds one SSTable; entries must arrive in internal-key order."""
+
+    def __init__(
+        self,
+        fs: Ext4,
+        path: str,
+        options: Options,
+        at: int,
+        number: int = -1,
+    ) -> None:
+        self.fs = fs
+        self.options = options
+        handle, t = fs.create(path, at=at)
+        self.handle = handle
+        self.path = path
+        self.number = number
+        self._time = t
+        self._block = BlockBuilder()
+        self._index = BlockBuilder()
+        self._pending: List[bytes] = []  # completed data blocks
+        self._offset = 0
+        self._user_keys: List[bytes] = []
+        self.num_entries = 0
+        self.smallest: Optional[bytes] = None
+        self.largest: Optional[bytes] = None
+        self._last_internal: Optional[bytes] = None
+        self.finished = False
+
+    @property
+    def current_size(self) -> int:
+        return self._offset + self._block.size_estimate
+
+    def add(self, internal_key: bytes, value: bytes) -> None:
+        if self.finished:
+            raise RuntimeError("builder already finished")
+        if (
+            self._last_internal is not None
+            and internal_compare(internal_key, self._last_internal) <= 0
+        ):
+            raise ValueError("table entries must be strictly increasing")
+        self._last_internal = internal_key
+        if self.smallest is None:
+            self.smallest = internal_key
+        self.largest = internal_key
+        self._block.add(internal_key, value)
+        self._user_keys.append(internal_key[:-8])
+        self.num_entries += 1
+        if self._block.size_estimate >= self.options.block_size:
+            self._cut_block()
+
+    def _cut_block(self) -> None:
+        if self._block.empty:
+            return
+        last_key = self._block.last_key
+        data = self._block.finish()
+        self._pending.append(data)
+        self._index.add(
+            last_key, put_fixed64(self._offset) + put_fixed64(len(data))
+        )
+        self._offset += len(data)
+
+    def finish(self, at: int) -> Tuple[int, int]:
+        """Write everything out; returns (file_size, completion_time)."""
+        if self.finished:
+            raise RuntimeError("builder already finished")
+        self.finished = True
+        self._cut_block()
+        bloom = BloomFilter.build(self._user_keys, self.options.bloom_bits_per_key)
+        bloom_bytes = bloom.encode()
+        bloom_offset = self._offset
+        index_bytes = self._index.finish()
+        index_offset = bloom_offset + len(bloom_bytes)
+        footer = (
+            put_fixed64(bloom_offset)
+            + put_fixed64(len(bloom_bytes))
+            + put_fixed64(index_offset)
+            + put_fixed64(len(index_bytes))
+            + put_fixed64(TABLE_MAGIC)
+        )
+        contents = b"".join(self._pending) + bloom_bytes + index_bytes + footer
+        t = max(at, self._time)
+        t = self.handle.append(contents, at=t)
+        # checksumming cost over the table
+        t += self.fs.cpu.crc_per_kib_ns * (len(contents) // 1024 + 1)
+        return len(contents), t
+
+    def abandon(self, at: int) -> int:
+        """Drop a partially built table (failed compaction)."""
+        self.finished = True
+        return self.fs.unlink(self.path, at=at)
+
+
+def _lower_bound(keys: List[bytes], target: bytes) -> int:
+    """First index whose internal key >= target (internal ordering)."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if internal_compare(keys[mid], target) < 0:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class Table:
+    """An open SSTable: footer/index/bloom parsed, blocks read on demand.
+
+    ``block_cache`` (optional, shared across tables) bounds how many
+    decoded blocks stay resident — LevelDB's 8 MB Cache; without one the
+    table falls back to a private unbounded dict (unit-test convenience).
+    """
+
+    def __init__(
+        self,
+        fs: Ext4,
+        handle: File,
+        index: Block,
+        bloom: BloomFilter,
+        file_size: int,
+        block_cache=None,
+        number: int = -1,
+    ) -> None:
+        self.fs = fs
+        self.handle = handle
+        self.index = index
+        self.bloom = bloom
+        self.file_size = file_size
+        self.number = number
+        self.shared_cache = block_cache
+        self._block_cache: Dict[int, Block] = {}
+
+    @classmethod
+    def open(
+        cls, fs: Ext4, path: str, at: int, block_cache=None, number: int = -1
+    ) -> Tuple["Table", int]:
+        handle, t = fs.open(path, at=at)
+        size = handle.size
+        if size < FOOTER_SIZE:
+            raise CorruptionError(f"{path}: too small for a table footer")
+        footer, t = handle.read(size - FOOTER_SIZE, FOOTER_SIZE, at=t)
+        if get_fixed64(footer, 32) != TABLE_MAGIC:
+            raise CorruptionError(f"{path}: bad table magic")
+        bloom_offset = get_fixed64(footer, 0)
+        bloom_size = get_fixed64(footer, 8)
+        index_offset = get_fixed64(footer, 16)
+        index_size = get_fixed64(footer, 24)
+        bloom_bytes, t = handle.read(bloom_offset, bloom_size, at=t)
+        index_bytes, t = handle.read(index_offset, index_size, at=t)
+        t += fs.cpu.block_decode_ns
+        index = Block.decode(index_bytes)
+        bloom = BloomFilter.decode(bloom_bytes)
+        return cls(
+            fs, handle, index, bloom, size,
+            block_cache=block_cache, number=number,
+        ), t
+
+    def _read_block(self, block_pos: int, at: int) -> Tuple[Block, int]:
+        offset = get_fixed64(self.index.values[block_pos], 0)
+        size = get_fixed64(self.index.values[block_pos], 8)
+        if self.shared_cache is not None:
+            cached = self.shared_cache.get(self.number, block_pos)
+        else:
+            cached = self._block_cache.get(block_pos)
+        if cached is not None:
+            return cached, at
+        raw, t = self.handle.read(offset, size, at=at)
+        t += self.fs.cpu.block_decode_ns
+        block = Block.decode(raw)
+        if self.shared_cache is not None:
+            self.shared_cache.put(self.number, block_pos, block, size)
+        else:
+            self._block_cache[block_pos] = block
+        return block, t
+
+    def get(
+        self,
+        user_key: bytes,
+        at: int,
+        sequence_bound: int = MAX_SEQUENCE,
+    ) -> Tuple[Optional[Tuple[bool, bytes]], int]:
+        """Point lookup of the newest version at or below the bound.
+
+        Returns ``(None, t)`` when nothing visible is in this table,
+        ``((True, value), t)`` for a live value, ``((False, b''), t)`` for
+        a tombstone.
+        """
+        t = at + self.fs.cpu.bloom_check_ns
+        if not self.bloom.may_contain(user_key):
+            return None, t
+        target = make_internal_key(user_key, sequence_bound, TYPE_VALUE)
+        block_pos = _lower_bound(self.index.keys, target)
+        if block_pos >= len(self.index.keys):
+            return None, t
+        block, t = self._read_block(block_pos, t)
+        entry_pos = _lower_bound(block.keys, target)
+        t += self.fs.cpu.memtable_lookup_ns  # binary-search cost
+        if entry_pos >= len(block.keys):
+            # the match may start in the next block (bound skipped past
+            # this block's tail versions)
+            block_pos += 1
+            if block_pos >= len(self.index.keys):
+                return None, t
+            block, t = self._read_block(block_pos, t)
+            entry_pos = 0
+        found_user, _, value_type = parse_internal_key(block.keys[entry_pos])
+        if found_user != user_key:
+            return None, t
+        if value_type == TYPE_DELETION:
+            return (False, b""), t
+        return (True, block.values[entry_pos]), t
+
+    def largest_key(self) -> bytes:
+        """Largest internal key (the index's last entry)."""
+        if not self.index.keys:
+            raise CorruptionError("empty table has no largest key")
+        return self.index.keys[-1]
+
+    def smallest_key(self, at: int) -> Tuple[bytes, int]:
+        """Smallest internal key (first entry of the first block)."""
+        if not self.index.keys:
+            raise CorruptionError("empty table has no smallest key")
+        block, t = self._read_block(0, at)
+        return block.keys[0], t
+
+    def max_sequence(self, at: int) -> Tuple[int, int]:
+        """Highest sequence number stored in the table (full scan).
+
+        Used by orphan-table adoption during NobLSM recovery, which must
+        restore ``last_sequence`` past every adopted entry.
+        """
+        entries, t = self.all_entries(at)
+        best = 0
+        for key, _ in entries:
+            _, sequence, _ = parse_internal_key(key)
+            if sequence > best:
+                best = sequence
+        return best, t
+
+    def iterate(self, at: int) -> "TableIterator":
+        return TableIterator(self, at)
+
+    def all_entries(self, at: int) -> Tuple[List[Tuple[bytes, bytes]], int]:
+        """Read the whole table (compaction input)."""
+        entries: List[Tuple[bytes, bytes]] = []
+        t = at
+        for pos in range(len(self.index.keys)):
+            block, t = self._read_block(pos, t)
+            entries.extend(zip(block.keys, block.values))
+        return entries, t
+
+
+class TableIterator:
+    """Forward iterator over one table; blocks are read only when the
+    iterator is positioned (lazy, like LevelDB's two-level iterator)."""
+
+    def __init__(self, table: Table, at: int) -> None:
+        self.table = table
+        self.time = at
+        self._block_pos = -1
+        self._block: Optional[Block] = None
+        self._entry_pos = 0
+
+    def seek_to_first(self) -> None:
+        self._block_pos = -1
+        self._advance_block()
+
+    def _advance_block(self) -> None:
+        self._block_pos += 1
+        if self._block_pos >= len(self.table.index.keys):
+            self._block = None
+            return
+        self._block, self.time = self.table._read_block(
+            self._block_pos, self.time
+        )
+        self._entry_pos = 0
+
+    @property
+    def valid(self) -> bool:
+        return self._block is not None
+
+    @property
+    def key(self) -> bytes:
+        return self._block.keys[self._entry_pos]
+
+    @property
+    def value(self) -> bytes:
+        return self._block.values[self._entry_pos]
+
+    def seek(self, target: bytes) -> None:
+        """Position at the first entry with internal key >= target."""
+        keys = self.table.index.keys
+        pos = _lower_bound(keys, target)
+        if pos >= len(keys):
+            self._block = None
+            self._block_pos = len(keys)
+            return
+        self._block_pos = pos - 1
+        self._advance_block()
+        if self._block is not None:
+            self._entry_pos = _lower_bound(self._block.keys, target)
+            if self._entry_pos >= len(self._block.keys):
+                self._advance_block()
+
+    def next(self) -> None:
+        if self._block is None:
+            raise StopIteration("iterator exhausted")
+        self.time += self.table.fs.cpu.iter_next_ns
+        self._entry_pos += 1
+        if self._entry_pos >= len(self._block.keys):
+            self._advance_block()

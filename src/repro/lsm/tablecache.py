@@ -1,0 +1,61 @@
+"""Cache of open SSTable readers, keyed by file number."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+from repro.fs.ext4 import Ext4
+from repro.lsm.blockcache import BlockCache
+from repro.lsm.filenames import table_file_name
+from repro.lsm.sstable import Table
+
+
+class TableCache:
+    """LRU of open :class:`Table` readers (LevelDB's max_open_files).
+
+    All tables opened through one cache share one bounded
+    :class:`BlockCache` (LevelDB's options.block_cache).
+    """
+
+    def __init__(
+        self,
+        fs: Ext4,
+        dbname: str,
+        capacity: int = 1000,
+        block_cache_bytes: int = 8 * 1024 * 1024,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.fs = fs
+        self.dbname = dbname
+        self.capacity = capacity
+        self.block_cache = BlockCache(block_cache_bytes)
+        self._tables: "OrderedDict[int, Table]" = OrderedDict()
+        self.opens = 0
+
+    def get_table(self, number: int, at: int) -> Tuple[Table, int]:
+        table = self._tables.get(number)
+        if table is not None:
+            self._tables.move_to_end(number)
+            return table, at
+        table, t = Table.open(
+            self.fs,
+            table_file_name(self.dbname, number),
+            at,
+            block_cache=self.block_cache,
+            number=number,
+        )
+        self.opens += 1
+        self._tables[number] = table
+        while len(self._tables) > self.capacity:
+            self._tables.popitem(last=False)
+        return table, t
+
+    def evict(self, number: int) -> None:
+        self._tables.pop(number, None)
+        self.block_cache.evict_table(number)
+
+    def clear(self) -> None:
+        self._tables.clear()
+        self.block_cache.clear()

@@ -1,0 +1,122 @@
+"""Write-ahead log.
+
+Record format (one record per write batch)::
+
+    crc32(payload)   fixed32
+    payload length   fixed32
+    payload:
+        sequence     fixed64  (sequence of the first entry)
+        count        fixed32
+        count x [type(1B) | klen varint | key | vlen varint | value]
+
+The log is appended through the page cache and — matching LevelDB's
+default and the paper's consistency test — never synced, so a crash can
+corrupt or truncate its tail. The reader stops cleanly at the first
+record that fails its length or CRC check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.fs.ext4 import File
+from repro.lsm.format import (
+    CorruptionError,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    crc32,
+    get_fixed32,
+    get_fixed64,
+    get_varint,
+    put_fixed32,
+    put_fixed64,
+    put_varint,
+)
+
+HEADER_SIZE = 8
+
+#: (value_type, key, value)
+BatchEntry = Tuple[int, bytes, bytes]
+
+
+def encode_batch(sequence: int, entries: List[BatchEntry]) -> bytes:
+    """Serialize a write batch into one log record."""
+    parts = [put_fixed64(sequence), put_fixed32(len(entries))]
+    for value_type, key, value in entries:
+        if value_type not in (TYPE_VALUE, TYPE_DELETION):
+            raise ValueError(f"bad value type {value_type}")
+        parts.append(bytes([value_type]))
+        parts.append(put_varint(len(key)))
+        parts.append(key)
+        parts.append(put_varint(len(value)))
+        parts.append(value)
+    payload = b"".join(parts)
+    return put_fixed32(crc32(payload)) + put_fixed32(len(payload)) + payload
+
+
+def decode_batch(payload: bytes) -> Tuple[int, List[BatchEntry]]:
+    """Parse one record payload back into (sequence, entries)."""
+    if len(payload) < 12:
+        raise CorruptionError("batch payload too short")
+    sequence = get_fixed64(payload, 0)
+    count = get_fixed32(payload, 8)
+    entries: List[BatchEntry] = []
+    pos = 12
+    for _ in range(count):
+        if pos >= len(payload):
+            raise CorruptionError("batch truncated")
+        value_type = payload[pos]
+        pos += 1
+        klen, pos = get_varint(payload, pos)
+        key = bytes(payload[pos : pos + klen])
+        pos += klen
+        vlen, pos = get_varint(payload, pos)
+        value = bytes(payload[pos : pos + vlen])
+        pos += vlen
+        if len(key) != klen or len(value) != vlen:
+            raise CorruptionError("batch entry truncated")
+        entries.append((value_type, key, value))
+    return sequence, entries
+
+
+class LogWriter:
+    """Appends batch records to a log file."""
+
+    def __init__(self, handle: File) -> None:
+        self.handle = handle
+
+    def add_record(self, sequence: int, entries: List[BatchEntry], at: int) -> int:
+        record = encode_batch(sequence, entries)
+        return self.handle.append(record, at=at)
+
+
+class LogReader:
+    """Replays records; stops at the first corrupt or truncated record."""
+
+    def __init__(self, handle: File) -> None:
+        self.handle = handle
+        self.dropped_tail = False
+
+    def records(self, at: int) -> Iterator[Tuple[int, List[BatchEntry]]]:
+        """Yield (sequence, entries) for every intact record."""
+        offset = 0
+        size = self.handle.size
+        while offset + HEADER_SIZE <= size:
+            header, _ = self.handle.read(offset, HEADER_SIZE, at=at)
+            expected_crc = get_fixed32(header, 0)
+            length = get_fixed32(header, 4)
+            if offset + HEADER_SIZE + length > size:
+                self.dropped_tail = True
+                return
+            payload, _ = self.handle.read(offset + HEADER_SIZE, length, at=at)
+            if crc32(payload) != expected_crc:
+                self.dropped_tail = True
+                return
+            try:
+                yield decode_batch(payload)
+            except CorruptionError:
+                self.dropped_tail = True
+                return
+            offset += HEADER_SIZE + length
+        if offset != size:
+            self.dropped_tail = True

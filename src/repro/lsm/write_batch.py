@@ -1,0 +1,50 @@
+"""LevelDB-style WriteBatch: atomic multi-operation writes."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lsm.format import TYPE_DELETION, TYPE_VALUE
+from repro.lsm.wal import BatchEntry
+
+
+class WriteBatch:
+    """A group of updates applied atomically by :meth:`repro.lsm.db.DB.write`.
+
+    All entries of one batch share one WAL record and consecutive
+    sequence numbers, so a crash either keeps the whole batch or none
+    of it (once the record is durable).
+
+    >>> batch = WriteBatch()
+    >>> batch.put(b"k1", b"v1")
+    >>> batch.delete(b"k2")
+    >>> len(batch)
+    2
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[BatchEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[BatchEntry]:
+        return list(self._entries)
+
+    @property
+    def approximate_size(self) -> int:
+        return sum(len(k) + len(v) + 13 for _, k, v in self._entries)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._entries.append((TYPE_VALUE, bytes(key), bytes(value)))
+
+    def delete(self, key: bytes) -> None:
+        self._entries.append((TYPE_DELETION, bytes(key), b""))
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def append(self, other: "WriteBatch") -> None:
+        """Concatenate another batch's updates after this one's."""
+        self._entries.extend(other._entries)

@@ -1,0 +1,76 @@
+"""Virtual time.
+
+Every duration in the reproduction is expressed in *virtual nanoseconds*.
+The clock only moves forward; components advance it when they account for
+CPU work or wait for device completions.
+"""
+
+from __future__ import annotations
+
+NANOS_PER_SEC = 1_000_000_000
+NANOS_PER_MS = 1_000_000
+NANOS_PER_US = 1_000
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer virtual nanoseconds."""
+    return int(value * NANOS_PER_SEC)
+
+
+def millis(value: float) -> int:
+    """Convert milliseconds to integer virtual nanoseconds."""
+    return int(value * NANOS_PER_MS)
+
+
+def micros(value: float) -> int:
+    """Convert microseconds to integer virtual nanoseconds."""
+    return int(value * NANOS_PER_US)
+
+
+def to_seconds(nanos: int) -> float:
+    """Convert virtual nanoseconds to float seconds."""
+    return nanos / NANOS_PER_SEC
+
+
+def to_micros(nanos: int) -> float:
+    """Convert virtual nanoseconds to float microseconds."""
+    return nanos / NANOS_PER_US
+
+
+class VirtualClock:
+    """A monotonic virtual clock measured in integer nanoseconds.
+
+    The clock is shared by the device, the file system and the store.
+    ``advance_to`` moves time forward and is a no-op for timestamps in the
+    past, which makes it safe for out-of-order accounting of overlapping
+    activities (e.g. a background compaction that finished before the
+    foreground thread next looks at the clock).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time {start}")
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    def advance_to(self, timestamp: int) -> int:
+        """Move the clock forward to ``timestamp`` (never backwards)."""
+        if timestamp > self._now:
+            self._now = int(timestamp)
+        return self._now
+
+    def advance_by(self, delta: int) -> int:
+        """Move the clock forward by ``delta`` nanoseconds."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta}")
+        self._now += int(delta)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now}ns, {to_seconds(self._now):.6f}s)"

@@ -1,0 +1,120 @@
+"""Timed-event queue for the simulation.
+
+Background activities — the JBD2 commit timer, dirty-page writeback, the
+NobLSM reclamation poll — register callbacks here. Foreground code calls
+:meth:`EventQueue.run_until` whenever it advances the clock, so background
+work that "would have happened by now" is applied before the foreground
+observes any state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.clock import VirtualClock
+
+Callback = Callable[[int], None]
+
+
+class Event:
+    """A scheduled callback. ``cancel()`` prevents a pending firing."""
+
+    __slots__ = ("when", "callback", "cancelled", "seq")
+
+    def __init__(self, when: int, callback: Callback, seq: int) -> None:
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+        self.seq = seq
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(when={self.when}, {state})"
+
+
+class EventQueue:
+    """Heap-ordered queue of timed callbacks on a shared virtual clock.
+
+    Events scheduled at the same timestamp fire in scheduling order.
+    Callbacks may schedule further events (including at the current time);
+    ``run_until`` keeps draining until no event remains at or before the
+    target timestamp.
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+        self._running = False
+
+    def __len__(self) -> int:
+        return sum(1 for (_, _, ev) in self._heap if not ev.cancelled)
+
+    def schedule(self, when: int, callback: Callback) -> Event:
+        """Schedule ``callback(fire_time)`` at absolute virtual time ``when``.
+
+        Scheduling in the past is clamped to the present: the event fires at
+        the next ``run_until``.
+        """
+        when = max(int(when), self.clock.now)
+        event = Event(when, callback, next(self._counter))
+        heapq.heappush(self._heap, (when, event.seq, event))
+        return event
+
+    def schedule_after(self, delay: int, callback: Callback) -> Event:
+        """Schedule ``callback`` to fire ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule(self.clock.now + delay, callback)
+
+    def next_event_time(self) -> Optional[int]:
+        """Timestamp of the earliest pending event, or ``None``."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def run_until(self, timestamp: int) -> int:
+        """Fire every pending event at or before ``timestamp``.
+
+        The clock advances to each event's time while it fires, then to
+        ``timestamp``. Returns the number of callbacks that ran. Re-entrant
+        calls (a callback advancing time itself) are flattened: the inner
+        call returns immediately and the outer loop picks up any newly
+        scheduled work.
+        """
+        if self._running:
+            return 0
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                nxt = self.next_event_time()
+                if nxt is None or nxt > timestamp:
+                    break
+                _, _, event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self.clock.advance_to(event.when)
+                event.callback(event.when)
+                fired += 1
+        finally:
+            self._running = False
+        self.clock.advance_to(timestamp)
+        return fired
+
+    def drain(self, limit: int = 1_000_000) -> int:
+        """Run events until the queue is empty (bounded by ``limit``)."""
+        fired = 0
+        while fired < limit:
+            nxt = self.next_event_time()
+            if nxt is None:
+                break
+            fired += self.run_until(nxt)
+        return fired

@@ -1,0 +1,100 @@
+"""The simulated solid-state drive.
+
+A single shared device services every read, write and FLUSH in the
+simulation. It keeps one *busy timeline*: an I/O submitted at virtual time
+``t`` starts at ``max(t, busy_until)`` and occupies the device for its
+service time. This is what makes syncs expensive in exactly the way the
+paper describes — a FLUSH barrier must wait for all queued writes, then
+stalls everything submitted after it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.clock import VirtualClock
+from repro.sim.latency import DeviceProfile, PM883
+from repro.sim.stats import DeviceStats
+
+
+class SSD:
+    """A virtual-time block device with a shared busy timeline.
+
+    All methods take the submission time ``at`` and return the completion
+    time. Callers that block on the I/O (direct writes, flushes) advance
+    their thread clock to the returned value; callers that do not block
+    (page-cache writeback) simply let the device timeline absorb the work,
+    delaying whoever touches the device next.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        profile: DeviceProfile = PM883,
+        stats: Optional[DeviceStats] = None,
+    ) -> None:
+        self.clock = clock
+        self.profile = profile
+        self.stats = stats if stats is not None else DeviceStats()
+        self._busy_until = 0
+
+    @property
+    def busy_until(self) -> int:
+        """Virtual time at which all submitted work completes."""
+        return self._busy_until
+
+    def idle_at(self, at: int) -> bool:
+        """True if the device has no queued work at time ``at``."""
+        return self._busy_until <= at
+
+    def _service(self, at: int, duration: int) -> int:
+        start = max(int(at), self._busy_until)
+        completion = start + duration
+        self._busy_until = completion
+        self.stats.busy_ns += duration
+        return completion
+
+    def write(self, nbytes: int, at: int, sequential: bool = True) -> int:
+        """Submit a write; returns its completion time."""
+        if nbytes < 0:
+            raise ValueError(f"negative write size {nbytes}")
+        if nbytes == 0:
+            return max(int(at), self._busy_until)
+        self.stats.bytes_written += nbytes
+        self.stats.write_ios += 1
+        return self._service(at, self.profile.write_ns(nbytes, sequential))
+
+    def read(self, nbytes: int, at: int, sequential: bool = True) -> int:
+        """Submit a read; returns its completion time."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size {nbytes}")
+        if nbytes == 0:
+            return max(int(at), self._busy_until)
+        self.stats.bytes_read += nbytes
+        self.stats.read_ios += 1
+        return self._service(at, self.profile.read_ns(nbytes, sequential))
+
+    def flush(self, at: int) -> int:
+        """Issue a FLUSH barrier.
+
+        The barrier drains the queue (starts after ``busy_until``), costs
+        ``flush_ns``, and leaves the device unavailable for a further
+        ``barrier_extra_ns`` — modelling the ordering stall that blocks
+        subsequent I/O (Section 2.2 of the paper).
+        """
+        self.stats.flushes += 1
+        completion = self._service(
+            at, self.profile.flush_ns + self.profile.barrier_extra_ns
+        )
+        return completion
+
+    def reset(self) -> None:
+        """Forget queued work and zero the statistics (new experiment)."""
+        self._busy_until = 0
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"SSD(profile={self.profile.name}, busy_until={self._busy_until}, "
+            f"written={self.stats.bytes_written}B)"
+        )

@@ -1,0 +1,88 @@
+"""Counters collected during a simulation run.
+
+Two stat families matter for the paper's evaluation:
+
+- :class:`DeviceStats` — bytes/IOs moved by the device, flush count, time
+  the device spent busy. Feeds Figure 2a and general sanity checks.
+- :class:`SyncStats` — the number of sync calls an application issued and
+  the volume of data those syncs made durable. Feeds Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sim.latency import GIB
+
+
+@dataclass
+class DeviceStats:
+    """Device-side accounting, updated by :class:`repro.sim.ssd.SSD`."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    write_ios: int = 0
+    read_ios: int = 0
+    flushes: int = 0
+    busy_ns: int = 0
+
+    def reset(self) -> None:
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.write_ios = 0
+        self.read_ios = 0
+        self.flushes = 0
+        self.busy_ns = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "write_ios": self.write_ios,
+            "read_ios": self.read_ios,
+            "flushes": self.flushes,
+            "busy_ns": self.busy_ns,
+        }
+
+
+@dataclass
+class SyncStats:
+    """Application-level sync accounting (Table 1 of the paper).
+
+    ``sync_calls`` counts explicit fsync/fdatasync invocations; a sync's
+    ``bytes`` are the dirty bytes it forced to the device. ``by_reason``
+    breaks syncs down by the code path that issued them (wal, minor, major,
+    manifest), which the ablation benches use.
+    """
+
+    sync_calls: int = 0
+    bytes_synced: int = 0
+    by_reason: Dict[str, int] = field(default_factory=dict)
+    bytes_by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, nbytes: int, reason: str = "unspecified") -> None:
+        self.sync_calls += 1
+        self.bytes_synced += nbytes
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+        self.bytes_by_reason[reason] = (
+            self.bytes_by_reason.get(reason, 0) + nbytes
+        )
+
+    def reset(self) -> None:
+        self.sync_calls = 0
+        self.bytes_synced = 0
+        self.by_reason.clear()
+        self.bytes_by_reason.clear()
+
+    @property
+    def gib_synced(self) -> float:
+        return self.bytes_synced / GIB
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "sync_calls": self.sync_calls,
+            "bytes_synced": self.bytes_synced,
+            "by_reason": dict(self.by_reason),
+            "bytes_by_reason": dict(self.bytes_by_reason),
+        }

@@ -1,0 +1,175 @@
+"""Behavioural contracts of each baseline model (beyond correctness)."""
+
+import random
+
+import pytest
+
+from repro.baselines.bolt import BoLT
+from repro.baselines.l2sm import HOT_THRESHOLD, L2SMLike
+from repro.baselines.pebblesdb import GUARD_MERGE_THRESHOLD, PebblesDBLike
+from repro.baselines.registry import make_store
+from repro.fs.jbd2 import JournalConfig
+from repro.fs.stack import StackConfig, StorageStack
+from repro.lsm.options import KIB, Options
+from repro.sim.clock import millis
+
+
+def small_options(**overrides):
+    options = Options(
+        write_buffer_size=8 * KIB,
+        max_file_size=8 * KIB,
+        block_size=1 * KIB,
+        max_bytes_for_level_base=16 * KIB,
+    )
+    options.reclaim_interval_ns = millis(50)
+    for name, value in overrides.items():
+        setattr(options, name, value)
+    return options
+
+
+def fast_stack():
+    return StorageStack(
+        StackConfig(journal=JournalConfig(commit_interval_ns=millis(50)))
+    )
+
+
+def fill_random(db, n, seed=1, key_space=None, value_size=150):
+    rng = random.Random(seed)
+    space = key_space or n
+    t = 0
+    for _ in range(n):
+        key = f"key{rng.randrange(space):06d}".encode()
+        t = db.put(key, b"v" * value_size, at=t)
+    return t
+
+
+# ----------------------------------------------------------------------
+# BoLT
+# ----------------------------------------------------------------------
+
+def test_bolt_one_sync_per_compaction():
+    stack = fast_stack()
+    db = BoLT(stack, options=small_options())
+    t = fill_random(db, 2000, seed=2)
+    t = db.wait_for_background(t)
+    majors_with_outputs = db.factual_tables
+    major_syncs = stack.sync_stats.by_reason.get("major", 0)
+    assert major_syncs == majors_with_outputs
+    # ... while the bytes cover every output, not just the synced file
+    assert (
+        stack.sync_stats.bytes_by_reason.get("major", 0)
+        >= db.stats.bytes_compacted_out * 0.9
+    )
+
+
+def test_bolt_read_pays_logical_indirection():
+    stack = fast_stack()
+    bolt = BoLT(stack, options=small_options())
+    t = fill_random(bolt, 500, seed=3)
+    _, t_bolt = bolt.get(b"key000001", at=t)
+
+    stack2 = fast_stack()
+    ldb = make_store("leveldb", stack2, options=small_options())
+    t = fill_random(ldb, 500, seed=3)
+    _, t_ldb = ldb.get(b"key000001", at=t)
+    # same structural work plus a constant indirection
+    assert t_bolt - t >= 0
+
+
+# ----------------------------------------------------------------------
+# PebblesDB
+# ----------------------------------------------------------------------
+
+def test_pebblesdb_guards_grow_with_levels():
+    stack = fast_stack()
+    db = PebblesDBLike(stack, options=small_options())
+    t = fill_random(db, 3000, seed=4, key_space=1500)
+    populated = [
+        level
+        for level in range(1, db.options.num_levels)
+        if db.versions.current.files[level]
+    ]
+    assert db._guards, "guards should exist after compactions"
+    for level in db._guards:
+        assert db._guards[level] == sorted(db._guards[level])
+
+
+def test_pebblesdb_guard_merges_bound_overlap():
+    stack = fast_stack()
+    db = PebblesDBLike(stack, options=small_options())
+    t = fill_random(db, 4000, seed=5, key_space=800)
+    t = db.wait_for_background(t)
+    # within any guard range, resident (fully-contained) files stay under
+    # the merge threshold plus the in-flight slack
+    version = db.versions.current
+    for level, guards in db._guards.items():
+        bounds = [None] + list(guards) + [None]
+        for lo, hi in zip(bounds, bounds[1:]):
+            resident = db._guard_range_files(level, lo, hi)
+            assert len(resident) <= GUARD_MERGE_THRESHOLD + 2
+
+
+def test_pebblesdb_writes_less_than_leveldb():
+    totals = {}
+    for name in ("leveldb", "pebblesdb"):
+        stack = fast_stack()
+        db = make_store(name, stack, options=small_options())
+        t = fill_random(db, 3000, seed=6, key_space=1500)
+        t = db.wait_for_background(t)
+        totals[name] = db.stats.bytes_compacted_out + db.stats.bytes_flushed
+    assert totals["pebblesdb"] < totals["leveldb"]
+
+
+# ----------------------------------------------------------------------
+# L2SM
+# ----------------------------------------------------------------------
+
+def test_l2sm_hot_log_gc_demotes_cooled_keys():
+    stack = fast_stack()
+    db = L2SMLike(stack, options=small_options())
+    rng = random.Random(7)
+    t = 0
+    # phase 1: a hot set (big enough to overflow the memtable) is hammered
+    for _ in range(2500):
+        key = f"hot{rng.randrange(60):02d}".encode()
+        t = db.put(key, b"h" * 200, at=t)
+    assert db.hot_dumps > 0
+    # phase 2: the hot set cools while cold traffic dominates
+    for _ in range(4000):
+        key = f"cold{rng.randrange(4000):06d}".encode()
+        t = db.put(key, b"c" * 200, at=t)
+    if db.hot_gcs:
+        assert db.demoted_keys > 0
+    # cooled keys remain readable wherever they live now
+    value, t = db.get(b"hot07", at=t)
+    assert value == b"h" * 200
+
+
+def test_l2sm_uniform_workload_behaves_like_leveldb():
+    """Table 1: L2SM's sync counts track LevelDB's under uniform load."""
+    counts = {}
+    for name in ("leveldb", "l2sm"):
+        stack = fast_stack()
+        db = make_store(name, stack, options=small_options())
+        fill_random(db, 2500, seed=8, key_space=10_000)  # few repeats
+        counts[name] = stack.sync_stats.sync_calls
+    assert counts["l2sm"] == pytest.approx(counts["leveldb"], rel=0.4)
+
+
+def test_l2sm_skewed_updates_reduce_compaction_io():
+    """The design goal: hot updates skip the main tree's compactions."""
+    written = {}
+    for name in ("leveldb", "l2sm"):
+        stack = fast_stack()
+        db = make_store(name, stack, options=small_options())
+        rng = random.Random(9)
+        t = 0
+        for _ in range(4000):
+            if rng.random() < 0.6:
+                key = f"hot{rng.randrange(8):02d}".encode()
+            else:
+                key = f"cold{rng.randrange(3000):06d}".encode()
+            t = db.put(key, b"v" * 200, at=t)
+        t = db.wait_for_background(t)
+        written[name] = db.stats.bytes_compacted_out + db.stats.bytes_flushed
+    assert written["l2sm"] < written["leveldb"]

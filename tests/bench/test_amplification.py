@@ -1,0 +1,59 @@
+"""Unit tests for the amplification analysis (tiny scale)."""
+
+import pytest
+
+from repro.bench.amplification import measure_amplification
+from repro.bench.harness import ScaledConfig
+
+
+def small_config():
+    return ScaledConfig(scale=10_000, value_size=512)
+
+
+def test_report_fields_sane():
+    report = measure_amplification("leveldb", small_config())
+    assert report.user_bytes > 0
+    assert report.logical_bytes <= report.user_bytes
+    assert report.wa_compaction >= 1.0
+    assert report.wa_device >= report.wa_compaction * 0.5
+    assert report.ra_point >= 1.0
+    assert report.space_amplification >= 0.5
+    row = report.row()
+    assert set(row) == {"wa_device", "wa_compaction", "ra_point", "space_amp"}
+
+
+def test_noblsm_matches_leveldb_compaction_wa():
+    leveldb = measure_amplification("leveldb", small_config())
+    noblsm = measure_amplification("noblsm", small_config())
+    assert noblsm.wa_compaction == pytest.approx(
+        leveldb.wa_compaction, rel=0.35
+    )
+
+
+def test_table_get_restored_after_probe():
+    from repro.lsm.sstable import Table
+
+    before = Table.get
+    measure_amplification("leveldb", small_config())
+    assert Table.get is before  # monkeypatch cleaned up
+
+
+def test_dbbench_cli_runs(capsys):
+    from repro.bench.dbbench_cli import main
+
+    exit_code = main(
+        ["--store", "noblsm", "--benchmarks", "fillseq", "--scale", "20000"]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "fillseq" in out
+    assert "micros/op" in out
+
+
+def test_dbbench_cli_rejects_unknown_benchmark(capsys):
+    from repro.bench.dbbench_cli import main
+
+    exit_code = main(
+        ["--store", "noblsm", "--benchmarks", "nosuch", "--scale", "20000"]
+    )
+    assert exit_code == 2

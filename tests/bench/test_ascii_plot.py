@@ -1,0 +1,63 @@
+"""Unit tests for the terminal chart renderer."""
+
+from repro.bench.ascii_plot import grouped_bars, line_series
+
+
+def test_grouped_bars_renders_all_entries():
+    text = grouped_bars(
+        "Title",
+        ["g1", "g2"],
+        {"alpha": {"g1": 1.0, "g2": 2.0}, "beta": {"g1": 3.0}},
+        unit="us",
+    )
+    assert "Title" in text
+    assert text.count("alpha") == 2
+    assert text.count("beta") == 1  # no g2 value for beta
+    assert "us" in text
+
+
+def test_grouped_bars_longest_bar_is_max():
+    text = grouped_bars(
+        "T", ["g"], {"small": {"g": 1.0}, "big": {"g": 10.0}}
+    )
+    lines = {line.split("|")[0].strip(): line for line in text.splitlines() if "|" in line}
+    assert lines["big"].count("#") > lines["small"].count("#")
+
+
+def test_grouped_bars_log_scale_note():
+    text = grouped_bars("T", ["g"], {"a": {"g": 5.0}}, log=True)
+    assert "log-scaled" in text
+
+
+def test_line_series_renders_legend_and_axis():
+    text = line_series(
+        "Fig",
+        [256, 1024],
+        {"one": {256: 1.0, 1024: 2.0}, "two": {256: 3.0, 1024: 4.0}},
+        x_label="bytes",
+        unit="us/op",
+    )
+    assert "Fig" in text
+    assert "legend:" in text
+    assert "one" in text and "two" in text
+    assert "256" in text and "1024" in text
+    assert "bytes" in text
+
+
+def test_line_series_log_scale():
+    text = line_series(
+        "Fig", [1, 2], {"s": {1: 1.0, 2: 1000.0}}, log=True
+    )
+    assert "log" in text
+
+
+def test_line_series_empty():
+    text = line_series("Fig", [1], {"s": {}})
+    assert "no data" in text
+
+
+def test_line_series_overlap_marker():
+    text = line_series(
+        "Fig", [1], {"a": {1: 5.0}, "b": {1: 5.0}}, height=4
+    )
+    assert "&" in text

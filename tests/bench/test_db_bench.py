@@ -1,0 +1,109 @@
+"""Unit tests for the db_bench workload runners (tiny scales)."""
+
+import pytest
+
+from repro.bench.db_bench import (
+    WORKLOADS,
+    run_deleterandom,
+    run_fillrandom,
+    run_fillseq,
+    run_matrix,
+    run_overwrite,
+    run_readmissing,
+    run_readrandom,
+    run_readseq,
+    run_seekrandom,
+    run_workload,
+)
+from repro.bench.harness import ScaledConfig
+
+SCALE = 20_000  # 500 ops per run: fast unit-test scale
+
+
+@pytest.fixture()
+def config():
+    return ScaledConfig(scale=SCALE, value_size=256)
+
+
+def test_fillrandom_reports_ops(config):
+    result, stack, db = run_fillrandom("leveldb", config)
+    assert result.num_ops == config.num_ops
+    assert result.us_per_op > 0
+    assert db.stats.puts == config.num_ops
+
+
+def test_fillseq_writes_in_order(config):
+    result, stack, db = run_fillseq("leveldb", config)
+    assert result.workload == "fillseq"
+    # sequential fill produces non-overlapping tables: no major churn
+    assert db.stats.major_compactions <= db.stats.minor_compactions
+
+
+def test_overwrite_resets_counters(config):
+    result, stack, db = run_overwrite("noblsm", config)
+    assert result.workload == "overwrite"
+    # counters were reset between fill and measure
+    assert result.sync_calls <= stack.sync_stats.sync_calls + 1
+
+
+def test_readseq_counts_every_pair(config):
+    result, _, _ = run_readseq("leveldb", config)
+    # fillrandom over num_ops keys: unique count < num_ops
+    assert 0 < result.num_ops <= config.num_ops
+
+
+def test_readrandom_runs(config):
+    result, _, _ = run_readrandom("leveldb", config)
+    assert result.num_ops == config.num_ops
+
+
+def test_readmissing_finds_nothing(config):
+    result, stack, db = run_readmissing("leveldb", config)
+    assert result.workload == "readmissing"
+    assert db.stats.gets >= config.num_ops
+
+
+def test_readmissing_cheaper_than_readrandom(config):
+    """Bloom filters make missing-key lookups cheap."""
+    hit, _, _ = run_readrandom("leveldb", config)
+    miss, _, _ = run_readmissing("leveldb", config)
+    assert miss.us_per_op <= hit.us_per_op * 1.5
+
+
+def test_seekrandom_runs(config):
+    result, _, db = run_seekrandom("leveldb", config)
+    assert db.stats.scans == result.num_ops
+
+
+def test_deleterandom_runs(config):
+    result, _, db = run_deleterandom("leveldb", config)
+    assert db.stats.deletes == config.num_ops
+
+
+def test_run_workload_by_name(config):
+    result = run_workload("fillrandom", "noblsm", config)
+    assert result.store == "noblsm"
+    with pytest.raises(ValueError):
+        run_workload("nosuch", "noblsm", config)
+
+
+def test_workload_registry_complete():
+    assert set(WORKLOADS) == {
+        "fillrandom",
+        "overwrite",
+        "readseq",
+        "readrandom",
+        "fillseq",
+        "readmissing",
+        "seekrandom",
+        "deleterandom",
+    }
+
+
+def test_run_matrix_shares_fill(config):
+    results = run_matrix(
+        ["leveldb"], ["fillrandom", "readseq", "readrandom"], config
+    )
+    assert ("leveldb", "readseq") in results
+    assert ("leveldb", "readrandom") in results
+    assert results[("leveldb", "fillrandom")].us_per_op > 0

@@ -1,0 +1,148 @@
+"""Unit tests for the benchmark harness and workload generators."""
+
+import pytest
+
+from repro.bench.harness import BenchResult, ScaledConfig, ThreadedDriver
+from repro.bench.report import format_table, series_by_store
+from repro.bench.workloads import (
+    ValueGenerator,
+    fillrandom_indices,
+    make_key,
+    readrandom_indices,
+)
+from repro.lsm.db import DB
+
+
+def test_scaled_config_defaults():
+    config = ScaledConfig(scale=1000)
+    assert config.num_ops == 10_000
+    options = config.build_options()
+    assert options.write_buffer_size == 64 * 1024 * 1024 // 1000
+    assert options.block_size == 4096  # format size does not scale
+
+
+def test_scaled_config_rejects_tiny_scale():
+    with pytest.raises(ValueError):
+        ScaledConfig(scale=0.5)
+
+
+def test_scaled_stack_compresses_time():
+    small = ScaledConfig(scale=100).build_stack()
+    large = ScaledConfig(scale=10_000).build_stack()
+    assert small.ssd.profile.flush_ns > large.ssd.profile.flush_ns
+    assert (
+        small.journal.config.commit_interval_ns
+        > large.journal.config.commit_interval_ns
+    )
+
+
+def test_pagecache_covers_dataset():
+    config = ScaledConfig(scale=10_000, value_size=1024)
+    stack = config.build_stack()
+    assert stack.pagecache.capacity_bytes >= 30 * config.dataset_bytes()
+
+
+def test_build_store_by_name():
+    config = ScaledConfig(scale=5000)
+    stack, db = config.build_store("noblsm")
+    assert db.store_name == "noblsm"
+    assert db.fs is stack.fs
+
+
+def test_bench_result_metrics():
+    result = BenchResult(
+        store="x",
+        workload="w",
+        num_ops=1000,
+        value_size=1024,
+        virtual_ns=2_000_000,
+        sync_calls=5,
+        bytes_synced=2**30,
+        device_bytes_written=0,
+        device_bytes_read=0,
+        stall_ns=0,
+        minor_compactions=0,
+        major_compactions=0,
+    )
+    assert result.us_per_op == pytest.approx(2.0)
+    assert result.gib_synced == pytest.approx(1.0)
+    assert result.row()["store"] == "x"
+
+
+def test_make_key_width():
+    assert make_key(7) == b"0000000000000007"
+    assert len(make_key(123, key_size=8)) == 8
+
+
+def test_value_generator_size_and_uniqueness():
+    gen = ValueGenerator(100)
+    first = gen.next()
+    second = gen.next()
+    assert len(first) == len(second) == 100
+    assert first != second
+
+
+def test_value_generator_rejects_bad_size():
+    with pytest.raises(ValueError):
+        ValueGenerator(0)
+
+
+def test_fillrandom_indices_deterministic():
+    a = list(fillrandom_indices(100, seed=9))
+    b = list(fillrandom_indices(100, seed=9))
+    assert a == b
+    assert all(0 <= i < 100 for i in a)
+
+
+def test_readrandom_indices_in_keyspace():
+    samples = list(readrandom_indices(200, key_space=50, seed=1))
+    assert len(samples) == 200
+    assert all(0 <= i < 50 for i in samples)
+
+
+def test_threaded_driver_min_clock_first():
+    config = ScaledConfig(scale=10_000)
+    stack, db = config.build_store("leveldb")
+    driver = ThreadedDriver(db, threads=4)
+
+    def op(value):
+        def run(store: DB, at: int) -> int:
+            return store.put(f"k{value}".encode(), b"v", at)
+
+        return run
+
+    end = driver.run([op(i) for i in range(40)])
+    assert end > 0
+    # all threads advanced
+    assert all(clock > 0 for clock in driver.clocks)
+
+
+def test_threaded_driver_rejects_zero_threads():
+    config = ScaledConfig(scale=10_000)
+    _, db = config.build_store("leveldb")
+    with pytest.raises(ValueError):
+        ThreadedDriver(db, threads=0)
+
+
+def test_format_table_basic():
+    text = format_table("Title", ["a", "b"], [["x", 1], ["yy", 2.5]])
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert "2.500" in text
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table("T", ["a", "b"], [["only-one"]])
+
+
+def test_series_by_store():
+    text = series_by_store(
+        {"noblsm": {256: 1.0, 1024: 2.0}},
+        [256, 1024],
+        "value size",
+        "Figure X",
+    )
+    assert "noblsm" in text
+    assert "Figure X" in text

@@ -1,0 +1,46 @@
+"""Unit tests for the Figure 2a raw-I/O study."""
+
+import pytest
+
+from repro.bench.rawio import run_fig2a, run_rawio
+from repro.sim.latency import GIB, MIB
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        run_rawio("mmap")
+
+
+def test_async_is_page_cache_speed():
+    result = run_rawio("async", total_bytes=256 * MIB)
+    # ~5 GB/s memcpy: 256 MB in ~0.05 s
+    assert result.seconds < 0.2
+
+
+def test_direct_is_device_speed():
+    result = run_rawio("direct", total_bytes=256 * MIB)
+    # ~500 MB/s: 256 MB in ~0.5 s
+    assert 0.3 < result.seconds < 1.0
+
+
+def test_sync_slowest():
+    async_r = run_rawio("async", total_bytes=128 * MIB)
+    direct_r = run_rawio("direct", total_bytes=128 * MIB)
+    sync_r = run_rawio("sync", total_bytes=128 * MIB)
+    assert async_r.seconds < direct_r.seconds < sync_r.seconds
+
+
+def test_times_scale_with_size():
+    small = run_rawio("sync", total_bytes=128 * MIB)
+    large = run_rawio("sync", total_bytes=256 * MIB)
+    assert large.seconds == pytest.approx(2 * small.seconds, rel=0.15)
+
+
+def test_paper_anchor_ratios():
+    """The full-size run reproduces the paper's 9.5x and 13x ratios."""
+    results = run_fig2a(sizes=[1 * GIB])
+    async_s = results["async"][GIB].seconds
+    direct_s = results["direct"][GIB].seconds
+    sync_s = results["sync"][GIB].seconds
+    assert 7 < direct_s / async_s < 13  # paper: 9.5x
+    assert 10 < sync_s / async_s < 18  # paper: 13.0x

@@ -1,0 +1,109 @@
+"""Unit tests for the YCSB workload generator and suite runner."""
+
+import pytest
+
+from repro.bench.harness import ScaledConfig
+from repro.bench.ycsb import PAPER_ORDER, YCSBWorkload, run_ycsb_suite, ycsb_key
+
+
+def make(name, records=200, ops=300, seed=1):
+    return YCSBWorkload(
+        name, record_count=records, operation_count=ops, value_size=64, seed=seed
+    )
+
+
+def test_key_format():
+    assert ycsb_key(7) == b"user000000000007"
+
+
+def test_load_phase_generates_inserts():
+    workload = make("load-a", records=150)
+    ops = workload.operations()
+    assert len(ops) == 150
+
+
+def test_run_phase_generates_operation_count():
+    for name in ("a", "b", "c", "d", "e", "f"):
+        assert len(make(name).operations()) == 300
+
+
+def test_paper_order_is_papers():
+    assert PAPER_ORDER == ["load-a", "a", "b", "c", "f", "d", "load-e", "e"]
+
+
+def test_mix_fractions_roughly_respected():
+    """Workload A should be ~half updates, half reads (statistically)."""
+    config = ScaledConfig(scale=10_000)
+    stack, db = config.build_store("leveldb")
+    workload = make("load-a", records=400)
+    t = 0
+    for op in workload.operations():
+        t = op(db, t)
+    puts_after_load = db.stats.puts
+    workload = make("a", records=400, ops=600, seed=3)
+    for op in workload.operations():
+        t = op(db, t)
+    updates = db.stats.puts - puts_after_load
+    reads = db.stats.gets
+    assert 0.35 < updates / 600 < 0.65
+    assert 0.35 < reads / 600 < 0.65
+
+
+def test_workload_e_scans():
+    config = ScaledConfig(scale=10_000)
+    stack, db = config.build_store("leveldb")
+    t = 0
+    for op in make("load-a", records=300).operations():
+        t = op(db, t)
+    for op in make("e", records=300, ops=100, seed=4).operations():
+        t = op(db, t)
+    assert db.stats.scans > 80  # 95% scans
+
+
+def test_workload_d_inserts_extend_keyspace():
+    workload = make("d", records=100, ops=400, seed=5)
+    ops = workload.operations()
+    assert workload._inserted > 100  # some inserts happened
+    config = ScaledConfig(scale=10_000)
+    stack, db = config.build_store("leveldb")
+    t = 0
+    for op in make("load-a", records=100, seed=5).operations():
+        t = op(db, t)
+    for op in ops:
+        t = op(db, t)  # must not crash reading fresh keys
+
+
+def test_suite_runs_all_phases():
+    config = ScaledConfig(scale=50_000, value_size=256)
+    results = run_ycsb_suite(
+        "noblsm", config, record_count=300, operation_count=200
+    )
+    assert list(results) == PAPER_ORDER
+    for phase, result in results.items():
+        assert result.num_ops > 0
+        assert result.virtual_ns >= 0
+
+
+def test_suite_load_phases_reset_store():
+    config = ScaledConfig(scale=50_000, value_size=256)
+    results = run_ycsb_suite(
+        "leveldb",
+        config,
+        workloads=["load-a", "a", "load-e"],
+        record_count=200,
+        operation_count=100,
+    )
+    # both loads insert the same number of records from scratch
+    assert results["load-a"].num_ops == results["load-e"].num_ops
+
+
+def test_multithreaded_suite_runs():
+    config = ScaledConfig(scale=50_000, value_size=256, threads=4)
+    results = run_ycsb_suite(
+        "leveldb",
+        config,
+        workloads=["load-a", "c"],
+        record_count=300,
+        operation_count=200,
+    )
+    assert results["c"].num_ops == 200

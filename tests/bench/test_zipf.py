@@ -1,0 +1,70 @@
+"""Unit tests for the YCSB request distributions."""
+
+from collections import Counter
+
+import pytest
+
+from repro.bench.zipf import Latest, ScrambledZipfian, Uniform, Zipfian, fnv64
+
+
+def test_uniform_range():
+    gen = Uniform(100, seed=1)
+    samples = [gen.next() for _ in range(5000)]
+    assert min(samples) >= 0
+    assert max(samples) < 100
+    counts = Counter(samples)
+    assert len(counts) > 90  # nearly every item seen
+
+
+def test_uniform_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        Uniform(0)
+
+
+def test_zipfian_skew():
+    gen = Zipfian(1000, seed=2)
+    samples = [gen.next() for _ in range(20000)]
+    counts = Counter(samples)
+    # rank 0 should be by far the most popular item
+    assert counts[0] == max(counts.values())
+    # zipf(0.99): item 0 takes a noticeable share
+    assert counts[0] / len(samples) > 0.05
+    assert all(0 <= s < 1000 for s in samples)
+
+
+def test_zipfian_determinism():
+    a = Zipfian(500, seed=7)
+    b = Zipfian(500, seed=7)
+    assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+
+def test_scrambled_zipfian_spreads_hotspots():
+    gen = ScrambledZipfian(1000, seed=3)
+    samples = [gen.next() for _ in range(20000)]
+    counts = Counter(samples)
+    hottest = counts.most_common(1)[0][0]
+    # the hottest item is hashed away from rank 0
+    assert hottest == fnv64(0) % 1000
+    assert all(0 <= s < 1000 for s in samples)
+
+
+def test_latest_prefers_recent():
+    gen = Latest(1000, seed=4)
+    samples = [gen.next() for _ in range(20000)]
+    counts = Counter(samples)
+    # the newest item (999) is the most popular
+    assert counts[999] == max(counts.values())
+
+
+def test_latest_tracks_inserts():
+    gen = Latest(100, seed=5)
+    gen.set_count(200)
+    samples = [gen.next() for _ in range(5000)]
+    assert max(samples) == 199  # newest item is now 199
+    counts = Counter(samples)
+    assert counts[199] == max(counts.values())
+
+
+def test_fnv64_is_deterministic_and_spread():
+    values = {fnv64(i) for i in range(1000)}
+    assert len(values) == 1000  # no collisions over a small range

@@ -1,0 +1,115 @@
+"""Unit tests for the predecessor/successor dependency tracker."""
+
+import pytest
+
+from repro.core.dependency import DependencyTracker, SSTableRef
+
+
+def ref(number, ino=None):
+    return SSTableRef(number=number, ino=ino or number + 1000, path=f"db/{number}.ldb")
+
+
+@pytest.fixture()
+def tracker():
+    return DependencyTracker()
+
+
+def test_register_requires_successors(tracker):
+    with pytest.raises(ValueError):
+        tracker.register([ref(1)], [])
+
+
+def test_group_counts(tracker):
+    group = tracker.register([ref(1), ref(2)], [ref(3)])
+    assert group.p == 2
+    assert group.q == 1
+    assert tracker.groups_registered == 1
+
+
+def test_resolve_when_all_successors_committed(tracker):
+    tracker.register([ref(1)], [ref(3), ref(4)])
+    committed = {1003}
+    resolved = tracker.resolve(lambda ino: ino in committed)
+    assert resolved == []
+    committed.add(1004)
+    resolved = tracker.resolve(lambda ino: ino in committed)
+    assert len(resolved) == 1
+    assert tracker.groups_resolved == 1
+
+
+def test_reclaim_order_is_consecutive(tracker):
+    g1 = tracker.register([ref(1)], [ref(10)])
+    g2 = tracker.register([ref(2)], [ref(20)])
+    g3 = tracker.register([ref(3)], [ref(30)])
+    # only g2 and g3's successors committed: nothing reclaimable yet,
+    # because g1 blocks the prefix
+    committed = {1020, 1030}
+    tracker.resolve(lambda ino: ino in committed)
+    assert tracker.reclaimable() == []
+    committed.add(1010)
+    tracker.resolve(lambda ino: ino in committed)
+    ready = tracker.reclaimable()
+    assert [g.group_id for g in ready] == [g1.group_id, g2.group_id, g3.group_id]
+
+
+def test_mark_reclaimed_removes_from_ready(tracker):
+    g1 = tracker.register([ref(1)], [ref(10)])
+    tracker.resolve(lambda ino: True)
+    tracker.mark_reclaimed(g1)
+    assert tracker.reclaimable() == []
+
+
+def test_shadow_numbers_until_reclaimed(tracker):
+    g1 = tracker.register([ref(1), ref(2)], [ref(10)])
+    assert tracker.shadow_numbers() == {1, 2}
+    tracker.resolve(lambda ino: True)
+    tracker.mark_reclaimed(g1)
+    assert tracker.shadow_numbers() == set()
+
+
+def test_consumed_successor_settles_via_consumer(tracker):
+    """A successor re-compacted before committing settles when its
+    consuming group resolves (its ino was erased on unlink)."""
+    g1 = tracker.register([ref(1)], [ref(10)])
+    g2 = tracker.register([ref(10)], [ref(20)])  # 10 consumed by g2
+    committed = {1020}  # only g2's successor ever commits
+    tracker.resolve(lambda ino: ino in committed)
+    assert g2.resolved
+    assert g1.resolved  # settled transitively
+
+
+def test_unresolved_consumer_keeps_producer_unresolved(tracker):
+    g1 = tracker.register([ref(1)], [ref(10)])
+    g2 = tracker.register([ref(10)], [ref(20)])
+    tracker.resolve(lambda ino: False)
+    assert not g1.resolved
+    assert not g2.resolved
+
+
+def test_barrier_inos_block_resolution(tracker):
+    g1 = tracker.register([ref(1)], [ref(10)], barrier_inos=[555])
+    committed = {1010}
+    tracker.resolve(lambda ino: ino in committed)
+    assert not g1.resolved  # barrier (the manifest inode) not committed
+    committed.add(555)
+    tracker.resolve(lambda ino: ino in committed)
+    assert g1.resolved
+
+
+def test_settled_cache_survives_table_erasure(tracker):
+    """Once observed committed, a successor stays settled even if its
+    kernel-table entry is later erased by unlink."""
+    g1 = tracker.register([ref(1)], [ref(10)])
+    committed = {1010}
+    tracker.resolve(lambda ino: ino in committed)
+    assert g1.resolved
+    committed.clear()  # unlink erased the entry
+    assert tracker.resolve(lambda ino: False) == []
+    assert g1.resolved
+
+
+def test_clear_wipes_everything(tracker):
+    tracker.register([ref(1)], [ref(10)])
+    tracker.clear()
+    assert tracker.outstanding_groups() == []
+    assert tracker.shadow_numbers() == set()

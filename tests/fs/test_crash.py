@@ -1,0 +1,125 @@
+"""Crash semantics: what survives a power failure."""
+
+import pytest
+
+from repro.fs.crash import crash_and_recover
+from repro.fs.stack import StorageStack
+from repro.sim.clock import seconds
+
+
+@pytest.fixture()
+def stack():
+    return StorageStack()
+
+
+def test_unsynced_file_vanishes(stack):
+    f, t = stack.fs.create("volatile", at=0)
+    f.append(b"data", at=t)
+    report = crash_and_recover(stack.fs)
+    assert "volatile" in report.lost_paths
+    assert not stack.fs.exists("volatile")
+
+
+def test_fsynced_file_survives(stack):
+    f, t = stack.fs.create("durable", at=0)
+    t = f.append(b"data", at=t)
+    f.fsync(at=t)
+    report = crash_and_recover(stack.fs)
+    assert "durable" in report.surviving_paths
+    g, t2 = stack.fs.open("durable", at=stack.now)
+    assert g.read(0, 4, at=t2)[0] == b"data"
+
+
+def test_async_committed_file_survives_without_fsync(stack):
+    """The paper's core observation: async commit implies durability."""
+    f, t = stack.fs.create("implicit", at=0)
+    t = f.append(b"committed by the journal", at=t)
+    stack.events.run_until(t + seconds(6))
+    crash_and_recover(stack.fs)
+    assert stack.fs.exists("implicit")
+    g, t2 = stack.fs.open("implicit", at=stack.now)
+    assert g.read(0, 100, at=t2)[0] == b"committed by the journal"
+
+
+def test_tail_after_commit_is_truncated(stack):
+    f, t = stack.fs.create("log", at=0)
+    t = f.append(b"early", at=t)
+    t = f.fsync(at=t)
+    t = f.append(b"LATE", at=max(t, stack.now))
+    report = crash_and_recover(stack.fs)
+    assert report.truncated_paths.get("log") == (9, 5)
+    g, t2 = stack.fs.open("log", at=stack.now)
+    assert g.size == 5
+    assert g.read(0, 10, at=t2)[0] == b"early"
+
+
+def test_uncommitted_unlink_resurrects_file(stack):
+    f, t = stack.fs.create("ghost", at=0)
+    t = f.append(b"boo", at=t)
+    t = f.fsync(at=t)
+    stack.fs.unlink("ghost", at=t)
+    assert not stack.fs.exists("ghost")
+    crash_and_recover(stack.fs)
+    assert stack.fs.exists("ghost")  # unlink never committed
+
+
+def test_committed_unlink_stays_deleted(stack):
+    f, t = stack.fs.create("gone", at=0)
+    t = f.append(b"x", at=t)
+    t = f.fsync(at=t)
+    t = stack.fs.unlink("gone", at=t)
+    stack.events.run_until(t + seconds(6))
+    crash_and_recover(stack.fs)
+    assert not stack.fs.exists("gone")
+
+
+def test_uncommitted_rename_rolls_back(stack):
+    f, t = stack.fs.create("tmp", at=0)
+    t = f.append(b"m", at=t)
+    t = f.fsync(at=t)
+    t = stack.fs.rename("tmp", "CURRENT", at=t)
+    crash_and_recover(stack.fs)
+    assert stack.fs.exists("tmp")
+    assert not stack.fs.exists("CURRENT")
+
+
+def test_committed_rename_persists(stack):
+    f, t = stack.fs.create("tmp", at=0)
+    t = f.append(b"m", at=t)
+    t = stack.fs.rename("tmp", "CURRENT", at=t)
+    g, t = stack.fs.open("CURRENT", at=t)
+    t = g.fsync(at=t)
+    crash_and_recover(stack.fs)
+    assert stack.fs.exists("CURRENT")
+    assert not stack.fs.exists("tmp")
+
+
+def test_crash_clears_kernel_tables(stack):
+    f, t = stack.fs.create("tracked", at=0)
+    t = f.append(b"d", at=t)
+    stack.syscalls.check_commit([f.ino], at=t)
+    crash_and_recover(stack.fs)
+    assert not stack.syscalls.pending
+    assert not stack.syscalls.committed
+
+
+def test_crash_empties_page_cache(stack):
+    f, t = stack.fs.create("f", at=0)
+    t = f.append(b"c" * 4096, at=t)
+    f.fsync(at=t)
+    crash_and_recover(stack.fs)
+    before = stack.ssd.stats.read_ios
+    g, t2 = stack.fs.open("f", at=stack.now)
+    g.read(0, 4096, at=t2)
+    assert stack.ssd.stats.read_ios > before  # cold cache after reboot
+
+
+def test_repeated_crashes_are_stable(stack):
+    f, t = stack.fs.create("stable", at=0)
+    t = f.append(b"abc", at=t)
+    t = f.fsync(at=t)
+    for _ in range(3):
+        crash_and_recover(stack.fs)
+        assert stack.fs.exists("stable")
+        g, t2 = stack.fs.open("stable", at=stack.now)
+        assert g.read(0, 3, at=t2)[0] == b"abc"

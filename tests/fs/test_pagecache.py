@@ -1,0 +1,104 @@
+"""Unit tests for the page cache model."""
+
+import pytest
+
+from repro.fs.pagecache import PAGE_SIZE, PageCache
+
+MB = 1024 * 1024
+
+
+@pytest.fixture()
+def cache():
+    return PageCache(capacity_bytes=16 * MB)
+
+
+def test_write_makes_pages_dirty(cache):
+    cache.write(ino=1, offset=0, nbytes=PAGE_SIZE)
+    assert cache.dirty_bytes == PAGE_SIZE
+
+
+def test_write_spanning_pages(cache):
+    cache.write(ino=1, offset=PAGE_SIZE - 10, nbytes=20)
+    assert cache.dirty_bytes == 2 * PAGE_SIZE
+
+
+def test_rewrite_does_not_double_count_dirty(cache):
+    cache.write(ino=1, offset=0, nbytes=PAGE_SIZE)
+    cache.write(ino=1, offset=0, nbytes=PAGE_SIZE)
+    assert cache.dirty_bytes == PAGE_SIZE
+
+
+def test_read_hit_after_write(cache):
+    cache.write(ino=1, offset=0, nbytes=PAGE_SIZE)
+    missed = cache.read_misses(ino=1, offset=0, nbytes=PAGE_SIZE)
+    assert missed == 0
+    assert cache.hits >= 1
+
+
+def test_read_miss_populates(cache):
+    missed = cache.read_misses(ino=1, offset=0, nbytes=PAGE_SIZE)
+    assert missed == PAGE_SIZE
+    assert cache.read_misses(ino=1, offset=0, nbytes=PAGE_SIZE) == 0
+
+
+def test_zero_length_read_is_free(cache):
+    assert cache.read_misses(ino=1, offset=0, nbytes=0) == 0
+
+
+def test_clean_inode_clears_dirty(cache):
+    cache.write(ino=1, offset=0, nbytes=4 * PAGE_SIZE)
+    cache.clean_inode(ino=1, up_to_offset=4 * PAGE_SIZE)
+    assert cache.dirty_bytes == 0
+
+
+def test_clean_inode_partial_prefix(cache):
+    cache.write(ino=1, offset=0, nbytes=4 * PAGE_SIZE)
+    cache.clean_inode(ino=1, up_to_offset=2 * PAGE_SIZE)
+    assert cache.dirty_bytes == 2 * PAGE_SIZE
+
+
+def test_drop_inode_removes_everything(cache):
+    cache.write(ino=1, offset=0, nbytes=2 * PAGE_SIZE)
+    cache.write(ino=2, offset=0, nbytes=PAGE_SIZE)
+    cache.drop_inode(1)
+    assert cache.dirty_bytes == PAGE_SIZE
+    assert cache.read_misses(ino=1, offset=0, nbytes=PAGE_SIZE) == PAGE_SIZE
+
+
+def test_eviction_prefers_clean_pages():
+    cache = PageCache(capacity_bytes=4 * PAGE_SIZE)
+    cache.read_misses(ino=1, offset=0, nbytes=2 * PAGE_SIZE)  # clean
+    cache.write(ino=2, offset=0, nbytes=2 * PAGE_SIZE)  # dirty
+    cache.read_misses(ino=3, offset=0, nbytes=2 * PAGE_SIZE)  # forces evict
+    assert cache.evictions >= 2
+    assert cache.dirty_bytes == 2 * PAGE_SIZE  # dirty pages survived
+
+
+def test_dirty_pages_never_evicted_even_over_capacity():
+    cache = PageCache(capacity_bytes=2 * PAGE_SIZE)
+    cache.write(ino=1, offset=0, nbytes=4 * PAGE_SIZE)
+    assert cache.dirty_bytes == 4 * PAGE_SIZE  # transient overshoot allowed
+
+
+def test_dirty_threshold_fires_once_per_crossing():
+    fires = []
+    cache = PageCache(
+        capacity_bytes=10 * PAGE_SIZE,
+        dirty_ratio=0.5,
+        on_dirty_threshold=lambda: fires.append(True),
+    )
+    cache.write(ino=1, offset=0, nbytes=5 * PAGE_SIZE)
+    cache.write(ino=1, offset=5 * PAGE_SIZE, nbytes=PAGE_SIZE)
+    assert len(fires) == 1
+    cache.clean_inode(1, up_to_offset=6 * PAGE_SIZE)
+    cache.write(ino=2, offset=0, nbytes=5 * PAGE_SIZE)
+    assert len(fires) == 2
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        PageCache(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        PageCache(capacity_bytes=1024, dirty_ratio=0.0)
+    with pytest.raises(ValueError):
+        PageCache(capacity_bytes=1024, dirty_ratio=1.5)

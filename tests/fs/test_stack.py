@@ -1,0 +1,62 @@
+"""Unit tests for the StorageStack bundle."""
+
+import pytest
+
+from repro.fs.jbd2 import JournalConfig
+from repro.fs.stack import StackConfig, StorageStack
+from repro.sim.clock import millis, seconds
+
+
+def test_stack_wires_components():
+    stack = StorageStack()
+    assert stack.fs.journal is stack.journal
+    assert stack.fs.device is stack.ssd
+    assert stack.fs.sync_stats is stack.sync_stats
+    assert stack.journal.datasource is stack.fs
+    assert stack.syscalls.fs is stack.fs
+
+
+def test_config_applied():
+    config = StackConfig(
+        pagecache_bytes=1024 * 1024,
+        dirty_ratio=0.5,
+        writeback_interval_ns=millis(7),
+        journal=JournalConfig(commit_interval_ns=millis(3)),
+    )
+    stack = StorageStack(config)
+    assert stack.pagecache.capacity_bytes == 1024 * 1024
+    assert stack.pagecache.dirty_ratio == 0.5
+    assert stack.fs.writeback_interval_ns == millis(7)
+    assert stack.journal.config.commit_interval_ns == millis(3)
+
+
+def test_settle_reaches_quiescence():
+    stack = StorageStack()
+    handle, t = stack.fs.create("f", at=0)
+    t = handle.append(b"x" * 100_000, at=t)
+    end = stack.settle()
+    assert stack.pagecache.dirty_bytes == 0
+    assert stack.journal.committing is None
+    inode = stack.fs._get_inode("f")
+    assert inode.committed_size == inode.size
+
+
+def test_settle_on_idle_stack_is_cheap():
+    stack = StorageStack()
+    before = stack.now
+    stack.settle()
+    assert stack.now == before
+
+
+def test_crash_shortcut():
+    stack = StorageStack()
+    handle, t = stack.fs.create("v", at=0)
+    handle.append(b"gone", at=t)
+    stack.crash()
+    assert not stack.fs.exists("v")
+
+
+def test_now_tracks_clock():
+    stack = StorageStack()
+    stack.clock.advance_to(12345)
+    assert stack.now == 12345

@@ -1,0 +1,111 @@
+"""Unit tests for the NobLSM kernel tables and syscalls."""
+
+import pytest
+
+from repro.fs.stack import StorageStack
+from repro.sim.clock import seconds
+
+
+@pytest.fixture()
+def stack():
+    return StorageStack()
+
+
+def _dirty_file(stack, path):
+    f, t = stack.fs.create(path, at=stack.now)
+    t = f.append(b"sstable-bytes" * 100, at=t)
+    return f, t
+
+
+def test_check_commit_fills_pending(stack):
+    f, t = _dirty_file(stack, "sst1")
+    stack.syscalls.check_commit([f.ino], at=t)
+    assert f.ino in stack.syscalls.pending
+    assert f.ino not in stack.syscalls.committed
+
+
+def test_already_durable_inode_goes_straight_to_committed(stack):
+    f, t = _dirty_file(stack, "sst1")
+    t = f.fsync(at=t)
+    stack.syscalls.check_commit([f.ino], at=t)
+    assert f.ino in stack.syscalls.committed
+
+
+def test_commit_moves_pending_to_committed(stack):
+    f, t = _dirty_file(stack, "sst1")
+    stack.syscalls.check_commit([f.ino], at=t)
+    stack.events.run_until(t + seconds(6))
+    ok, _ = stack.syscalls.is_committed(f.ino, at=stack.now)
+    assert ok
+    assert f.ino not in stack.syscalls.pending
+
+
+def test_is_committed_false_before_commit(stack):
+    f, t = _dirty_file(stack, "sst1")
+    stack.syscalls.check_commit([f.ino], at=t)
+    ok, _ = stack.syscalls.is_committed(f.ino, at=t)
+    assert not ok
+
+
+def test_untracked_inode_never_committed(stack):
+    f, t = _dirty_file(stack, "sst1")
+    stack.events.run_until(t + seconds(6))
+    ok, _ = stack.syscalls.is_committed(f.ino, at=stack.now)
+    assert not ok  # was never check_commit'ed
+
+
+def test_unlink_erases_table_entries(stack):
+    f, t = _dirty_file(stack, "sst1")
+    stack.syscalls.check_commit([f.ino], at=t)
+    stack.events.run_until(t + seconds(6))
+    assert f.ino in stack.syscalls.committed
+    stack.fs.unlink("sst1", at=stack.now)
+    assert f.ino not in stack.syscalls.committed
+    assert f.ino not in stack.syscalls.pending
+
+
+def test_multiple_inodes_across_transactions(stack):
+    """Inodes of one compaction may land in different transactions."""
+    f1, t1 = _dirty_file(stack, "sst1")
+    stack.syscalls.check_commit([f1.ino], at=t1)
+    stack.events.run_until(t1 + seconds(6))  # commits f1's txn
+    f2, t2 = _dirty_file(stack, "sst2")
+    stack.syscalls.check_commit([f2.ino], at=t2)
+    ok1, _ = stack.syscalls.is_committed(f1.ino, at=stack.now)
+    ok2, _ = stack.syscalls.is_committed(f2.ino, at=stack.now)
+    assert ok1 and not ok2
+    stack.events.run_until(stack.now + seconds(6))
+    ok2, _ = stack.syscalls.is_committed(f2.ino, at=stack.now)
+    assert ok2
+
+
+def test_fsync_of_other_file_commits_tracked_inode_after_writeback(stack):
+    """Once the flusher has written a tracked inode back (joining it to
+    the running transaction), any forced commit moves it to Committed."""
+    f1, t1 = _dirty_file(stack, "sst1")
+    stack.syscalls.check_commit([f1.ino], at=t1)
+    stack.events.run_until(t1 + seconds(2))  # flusher writes f1 back
+    f2, t2 = _dirty_file(stack, "other")
+    t = f2.fsync(at=max(stack.now, t2))
+    ok, _ = stack.syscalls.is_committed(f1.ino, at=t)
+    assert ok
+
+
+def test_fsync_does_not_commit_unwritten_tracked_inode(stack):
+    """Delayed allocation: a tracked inode whose data is still dirty is
+    not covered by someone else's fsync."""
+    f1, t1 = _dirty_file(stack, "sst1")
+    stack.syscalls.check_commit([f1.ino], at=t1)
+    f2, t2 = _dirty_file(stack, "other")
+    t = f2.fsync(at=max(t1, t2))
+    ok, _ = stack.syscalls.is_committed(f1.ino, at=t)
+    assert not ok
+
+
+def test_syscall_counters(stack):
+    f, t = _dirty_file(stack, "sst1")
+    stack.syscalls.check_commit([f.ino], at=t)
+    stack.syscalls.is_committed(f.ino, at=t)
+    stack.syscalls.is_committed(f.ino, at=t)
+    assert stack.syscalls.check_commit_calls == 1
+    assert stack.syscalls.is_committed_calls == 2

@@ -1,0 +1,106 @@
+"""Unit tests for delayed allocation, the flusher, and throttling."""
+
+import pytest
+
+from repro.fs.jbd2 import JournalConfig
+from repro.fs.stack import StackConfig, StorageStack
+from repro.sim.clock import millis, seconds
+from repro.sim.latency import MIB
+
+
+@pytest.fixture()
+def stack():
+    return StorageStack()
+
+
+def test_buffered_write_does_not_join_journal(stack):
+    handle, t = stack.fs.create("f", at=0)
+    t = handle.fsync(at=t)  # the CREATE metadata is now committed
+    t = handle.append(b"x" * 4096, at=t)
+    assert stack.journal.txn_of(handle.ino) is None  # delalloc: data only
+    assert handle.ino in stack.fs._delalloc
+
+
+def test_writeback_joins_journal(stack):
+    handle, t = stack.fs.create("f", at=0)
+    t = handle.append(b"x" * 4096, at=t)
+    written, t = stack.fs.writeback_inode(handle.ino, t)
+    assert written == 4096
+    assert stack.journal.txn_of(handle.ino) is not None
+    assert handle._inode.durable_len == 4096
+    assert handle.ino not in stack.fs._delalloc
+
+
+def test_partial_writeback_advances_prefix(stack):
+    handle, t = stack.fs.create("f", at=0)
+    t = handle.append(b"x" * 10_000, at=t)
+    written, t = stack.fs.writeback_inode(handle.ino, t, max_bytes=4_000)
+    assert written == 4_000
+    assert handle._inode.durable_len == 4_000
+    assert handle.ino in stack.fs._delalloc  # still dirty
+    written, t = stack.fs.writeback_inode(handle.ino, t)
+    assert written == 6_000
+    assert handle._inode.durable_len == 10_000
+
+
+def test_flusher_drains_automatically(stack):
+    handle, t = stack.fs.create("f", at=0)
+    t = handle.append(b"x" * 4096, at=t)
+    stack.events.run_until(t + seconds(3))
+    assert handle._inode.durable_len == 4096
+    assert stack.fs.flusher_runs >= 1
+
+
+def test_flusher_paces_in_chunks():
+    stack = StorageStack(StackConfig(writeback_chunk_bytes=64 * 1024))
+    handle, t = stack.fs.create("big", at=0)
+    t = handle.append_zeros(1 * MIB, at=t)
+    stack.events.run_until(t + seconds(3))
+    # 1 MiB at 64 KiB per round = at least 16 flusher rounds
+    assert stack.fs.flusher_runs >= 16
+    assert handle._inode.durable_len == 1 * MIB
+
+
+def test_unlinked_file_not_written_back(stack):
+    handle, t = stack.fs.create("f", at=0)
+    t = handle.append(b"x" * 4096, at=t)
+    t = stack.fs.unlink("f", at=t)
+    before = stack.ssd.stats.bytes_written
+    stack.events.run_until(t + seconds(3))
+    assert stack.ssd.stats.bytes_written == before  # nothing to flush
+
+
+def test_hard_dirty_limit_throttles_writer():
+    stack = StorageStack(
+        StackConfig(pagecache_bytes=1 * MIB, hard_dirty_ratio=0.25)
+    )
+    handle, t = stack.fs.create("f", at=0)
+    # a burst far beyond the 256 KiB hard limit
+    for _ in range(16):
+        t = handle.append_zeros(64 * 1024, at=t)
+    assert stack.fs.throttle_ns > 0
+    # throttled writers end up device-bound, not memcpy-bound
+    assert t > stack.fs.cpu.memcpy_ns(16 * 64 * 1024) * 2
+
+
+def test_no_throttle_below_limit(stack):
+    handle, t = stack.fs.create("f", at=0)
+    t = handle.append(b"x" * 4096, at=t)
+    assert stack.fs.throttle_ns == 0
+
+
+def test_rename_flushes_source(stack):
+    """auto_da_alloc: replace-via-rename persists the content."""
+    handle, t = stack.fs.create("tmp", at=0)
+    t = handle.append(b"MANIFEST-000001\n", at=t)
+    t = stack.fs.rename("tmp", "CURRENT", at=t)
+    inode = stack.fs._get_inode("CURRENT")
+    assert inode.durable_len == inode.size
+
+
+def test_direct_write_joins_immediately(stack):
+    handle, t = stack.fs.create("f", at=0)
+    t = handle.write_direct(128 * 1024, at=t)
+    assert stack.journal.txn_of(handle.ino) is not None
+    assert handle._inode.durable_len == 128 * 1024
+    assert handle.ino not in stack.fs._delalloc

@@ -1,0 +1,96 @@
+"""The paper's Figure 3 walkthrough, step by step.
+
+Figure 3 narrates one NobLSM major compaction: (1) compact SSTables 127
+(L1) and 123 (L2) into new L2 SSTables 230 and 231; (2) Ext4 writes them
+asynchronously; (3) check_commit fills their inodes into the Pending
+Table; (4) the p-to-q dependency is recorded; (5) writeback; (6) the
+transaction commits; (7) entries move to the Committed Table; (8)
+is_committed reports durability; (9) the old SSTables and the dependency
+are removed; (10) Ext4 erases their table entries.
+
+This test drives the same ten steps through the public machinery.
+"""
+
+from repro.core.dependency import DependencyTracker, SSTableRef
+from repro.fs.jbd2 import JournalConfig
+from repro.fs.stack import StackConfig, StorageStack
+from repro.sim.clock import seconds
+
+
+def make_sstable(stack, name, t, nbytes=64 * 1024):
+    handle, t = stack.fs.create(name, at=t)
+    t = handle.append(b"S" * nbytes, at=t)
+    return handle, t
+
+
+def test_figure3_walkthrough():
+    stack = StorageStack(
+        StackConfig(journal=JournalConfig(commit_interval_ns=seconds(5)))
+    )
+    fs, syscalls = stack.fs, stack.syscalls
+    tracker = DependencyTracker()
+    t = 0
+
+    # pre-existing old SSTables 127 (L1) and 123 (L2), already durable
+    old_127, t = make_sstable(stack, "db/000127.ldb", t)
+    old_123, t = make_sstable(stack, "db/000123.ldb", t)
+    t = old_127.fsync(at=t)
+    t = old_123.fsync(at=t)
+
+    # (1)-(2) the compaction writes new SSTables 230 and 231, async only
+    new_230, t = make_sstable(stack, "db/000230.ldb", t)
+    new_231, t = make_sstable(stack, "db/000231.ldb", t)
+
+    # (3) syscall check_commit fills the Pending Table
+    t = syscalls.check_commit([new_230.ino, new_231.ino], at=t)
+    assert {new_230.ino, new_231.ino} <= syscalls.pending
+    assert not ({new_230.ino, new_231.ino} & syscalls.committed)
+
+    # (4) the p-to-q dependency (p=2, q=2) joins the global sets
+    group = tracker.register(
+        predecessors=[
+            SSTableRef(127, old_127.ino, "db/000127.ldb"),
+            SSTableRef(123, old_123.ino, "db/000123.ldb"),
+        ],
+        successors=[
+            SSTableRef(230, new_230.ino, "db/000230.ldb"),
+            SSTableRef(231, new_231.ino, "db/000231.ldb"),
+        ],
+    )
+    assert (group.p, group.q) == (2, 2)
+
+    # (8, too early) is_committed says no before the commit
+    ok, t = syscalls.is_committed(new_230.ino, at=t)
+    assert not ok
+
+    # (5)-(7) writeback + asynchronous transaction commit
+    stack.events.run_until(t + seconds(7))
+    assert new_230.ino in syscalls.committed
+    assert new_231.ino in syscalls.committed
+    assert new_230.ino not in syscalls.pending
+
+    # (8) is_committed now reports durability for both successors
+    ok_230, t = syscalls.is_committed(new_230.ino, at=stack.now)
+    ok_231, t = syscalls.is_committed(new_231.ino, at=t)
+    assert ok_230 and ok_231
+
+    # (9) all q successors committed -> delete the p predecessors
+    resolved = tracker.resolve(lambda ino: ino in syscalls.committed)
+    assert group in resolved
+    for ref in group.predecessors:
+        t = fs.unlink(ref.path, at=t)
+    tracker.mark_reclaimed(group)
+    assert not fs.exists("db/000127.ldb")
+    assert not fs.exists("db/000123.ldb")
+
+    # (10) Ext4 erased the deleted inodes' table entries
+    assert old_127.ino not in syscalls.committed
+    assert old_123.ino not in syscalls.committed
+    assert tracker.shadow_numbers() == set()
+
+    # and a crash after all ten steps keeps the new SSTables intact
+    stack.events.run_until(stack.now + seconds(7))
+    stack.crash()
+    assert fs.exists("db/000230.ldb")
+    assert fs.exists("db/000231.ldb")
+    assert fs.stat_size("db/000230.ldb") == 64 * 1024

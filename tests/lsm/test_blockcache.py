@@ -1,0 +1,67 @@
+"""Unit tests for the global block cache."""
+
+import pytest
+
+from repro.lsm.block import Block
+from repro.lsm.blockcache import BlockCache
+
+
+def block(n=1):
+    return Block([f"k{i}".encode() for i in range(n)], [b"v"] * n)
+
+
+def test_get_miss_then_hit():
+    cache = BlockCache(1000)
+    assert cache.get(1, 0) is None
+    cache.put(1, 0, block(), 100)
+    assert cache.get(1, 0) is not None
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_capacity_evicts_lru():
+    cache = BlockCache(250)
+    cache.put(1, 0, block(), 100)
+    cache.put(1, 1, block(), 100)
+    cache.get(1, 0)  # touch: 0 becomes most-recent
+    cache.put(1, 2, block(), 100)  # evicts (1,1)
+    assert cache.get(1, 1) is None
+    assert cache.get(1, 0) is not None
+    assert cache.used_bytes <= 250
+
+
+def test_replace_updates_bytes():
+    cache = BlockCache(1000)
+    cache.put(1, 0, block(), 100)
+    cache.put(1, 0, block(), 300)
+    assert cache.used_bytes == 300
+
+
+def test_evict_table_drops_all_its_blocks():
+    cache = BlockCache(1000)
+    cache.put(1, 0, block(), 100)
+    cache.put(1, 1, block(), 100)
+    cache.put(2, 0, block(), 100)
+    cache.evict_table(1)
+    assert cache.get(1, 0) is None
+    assert cache.get(2, 0) is not None
+    assert cache.used_bytes == 100
+
+
+def test_clear():
+    cache = BlockCache(1000)
+    cache.put(1, 0, block(), 100)
+    cache.clear()
+    assert cache.used_bytes == 0
+    assert cache.get(1, 0) is None
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        BlockCache(-1)
+
+
+def test_zero_capacity_caches_nothing_lasting():
+    cache = BlockCache(0)
+    cache.put(1, 0, block(), 100)
+    assert cache.used_bytes == 0

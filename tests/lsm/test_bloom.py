@@ -1,0 +1,55 @@
+"""Unit tests for the bloom filter."""
+
+from repro.lsm.bloom import BloomFilter
+
+
+def keys(n, prefix="key"):
+    return [f"{prefix}{i:06d}".encode() for i in range(n)]
+
+
+def test_no_false_negatives():
+    members = keys(2000)
+    bloom = BloomFilter.build(members, bits_per_key=10)
+    assert all(bloom.may_contain(k) for k in members)
+
+
+def test_false_positive_rate_reasonable():
+    bloom = BloomFilter.build(keys(2000), bits_per_key=10)
+    probes = keys(10000, prefix="other")
+    false_positives = sum(1 for k in probes if bloom.may_contain(k))
+    # 10 bits/key gives ~1% FP in theory; allow generous slack
+    assert false_positives / len(probes) < 0.05
+
+
+def test_more_bits_fewer_false_positives():
+    members = keys(2000)
+    probes = keys(5000, prefix="probe")
+    small = BloomFilter.build(members, bits_per_key=4)
+    large = BloomFilter.build(members, bits_per_key=16)
+    fp_small = sum(1 for k in probes if small.may_contain(k))
+    fp_large = sum(1 for k in probes if large.may_contain(k))
+    assert fp_large <= fp_small
+
+
+def test_empty_filter():
+    bloom = BloomFilter.build([], bits_per_key=10)
+    # an empty filter may answer anything but must not crash
+    bloom.may_contain(b"anything")
+
+
+def test_encode_decode_roundtrip():
+    members = keys(500)
+    bloom = BloomFilter.build(members, bits_per_key=10)
+    decoded = BloomFilter.decode(bloom.encode())
+    assert decoded.k == bloom.k
+    assert all(decoded.may_contain(k) for k in members)
+
+
+def test_decode_empty():
+    bloom = BloomFilter.decode(b"")
+    assert not bloom.may_contain(b"x")
+
+
+def test_single_key():
+    bloom = BloomFilter.build([b"lonely"], bits_per_key=10)
+    assert bloom.may_contain(b"lonely")

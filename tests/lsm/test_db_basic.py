@@ -1,0 +1,183 @@
+"""End-to-end behaviour of the LevelDB-like store."""
+
+import pytest
+
+from repro.fs.stack import StackConfig, StorageStack
+from repro.lsm.db import DB
+from repro.lsm.options import KIB, Options
+
+
+def small_options(**overrides):
+    options = Options(
+        write_buffer_size=8 * KIB,
+        max_file_size=8 * KIB,
+        block_size=1 * KIB,
+        max_bytes_for_level_base=16 * KIB,
+    )
+    for name, value in overrides.items():
+        setattr(options, name, value)
+    return options
+
+
+@pytest.fixture()
+def stack():
+    return StorageStack()
+
+
+@pytest.fixture()
+def db(stack):
+    return DB(stack, options=small_options())
+
+
+def test_put_then_get(db):
+    t = db.put(b"key", b"value", at=0)
+    value, _ = db.get(b"key", at=t)
+    assert value == b"value"
+
+
+def test_get_missing_returns_none(db):
+    value, _ = db.get(b"missing", at=0)
+    assert value is None
+
+
+def test_overwrite_returns_newest(db):
+    t = db.put(b"k", b"v1", at=0)
+    t = db.put(b"k", b"v2", at=t)
+    value, _ = db.get(b"k", at=t)
+    assert value == b"v2"
+
+
+def test_delete_hides_key(db):
+    t = db.put(b"k", b"v", at=0)
+    t = db.delete(b"k", at=t)
+    value, _ = db.get(b"k", at=t)
+    assert value is None
+
+
+def test_put_advances_time(db):
+    t = db.put(b"k", b"v" * 100, at=0)
+    assert t > 0
+
+
+def test_many_puts_trigger_compactions(db):
+    t = 0
+    for i in range(400):
+        t = db.put(f"key{i:06d}".encode(), b"v" * 100, at=t)
+    assert db.stats.minor_compactions >= 1
+    # all keys still readable after compactions
+    for i in range(0, 400, 37):
+        value, t = db.get(f"key{i:06d}".encode(), at=t)
+        assert value == b"v" * 100
+
+
+def test_overwrites_survive_compactions(db):
+    t = 0
+    for round_number in range(4):
+        for i in range(120):
+            value = f"r{round_number}v{i}".encode()
+            t = db.put(f"key{i:04d}".encode(), value, at=t)
+    for i in range(0, 120, 11):
+        value, t = db.get(f"key{i:04d}".encode(), at=t)
+        assert value == f"r3v{i}".encode()
+
+
+def test_deletes_survive_compactions(db):
+    t = 0
+    for i in range(200):
+        t = db.put(f"key{i:04d}".encode(), b"x" * 64, at=t)
+    for i in range(0, 200, 2):
+        t = db.delete(f"key{i:04d}".encode(), at=t)
+    for i in range(100):
+        t = db.put(f"other{i:04d}".encode(), b"y" * 64, at=t)
+    value, t = db.get(b"key0002", at=t)
+    assert value is None
+    value, t = db.get(b"key0003", at=t)
+    assert value == b"x" * 64
+
+
+def test_iterate_yields_sorted_unique_keys(db):
+    t = 0
+    expected = {}
+    for i in range(300):
+        key = f"key{i % 150:05d}".encode()
+        value = f"v{i}".encode()
+        t = db.put(key, value, at=t)
+        expected[key] = value
+    iterator = db.iterate(at=t)
+    seen = []
+    while iterator.valid:
+        seen.append((iterator.key, iterator.value))
+        iterator.next()
+    assert [k for k, _ in seen] == sorted(expected)
+    assert dict(seen) == expected
+
+
+def test_scan_returns_range(db):
+    t = 0
+    for i in range(100):
+        t = db.put(f"key{i:04d}".encode(), str(i).encode(), at=t)
+    pairs, t = db.scan(b"key0050", 10, at=t)
+    assert len(pairs) == 10
+    assert pairs[0][0] == b"key0050"
+    assert pairs[-1][0] == b"key0059"
+
+
+def test_scan_skips_deleted(db):
+    t = 0
+    for i in range(20):
+        t = db.put(f"key{i:04d}".encode(), b"v", at=t)
+    t = db.delete(b"key0005", at=t)
+    pairs, t = db.scan(b"key0004", 3, at=t)
+    assert [k for k, _ in pairs] == [b"key0004", b"key0006", b"key0007"]
+
+
+def test_sync_stats_recorded(stack):
+    db = DB(stack, options=small_options())
+    t = 0
+    for i in range(400):
+        t = db.put(f"key{i:06d}".encode(), b"v" * 100, at=t)
+    assert stack.sync_stats.sync_calls > 0
+    assert stack.sync_stats.by_reason.get("minor", 0) >= 1
+
+
+def test_volatile_policy_never_syncs(stack):
+    options = small_options()
+    options.sync.sync_minor = False
+    options.sync.sync_major = False
+    options.sync.sync_manifest = False
+    db = DB(stack, options=options)
+    t = 0
+    for i in range(400):
+        t = db.put(f"key{i:06d}".encode(), b"v" * 100, at=t)
+    assert stack.sync_stats.sync_calls == 0
+
+
+def test_write_batch_is_atomic_in_sequence(db):
+    from repro.lsm.format import TYPE_VALUE
+
+    entries = [(TYPE_VALUE, f"b{i}".encode(), b"v") for i in range(5)]
+    t = db.write(entries, at=0)
+    for i in range(5):
+        value, t = db.get(f"b{i}".encode(), at=t)
+        assert value == b"v"
+
+
+def test_closed_db_rejects_operations(db):
+    t = db.put(b"k", b"v", at=0)
+    db.close(t)
+    with pytest.raises(RuntimeError):
+        db.put(b"x", b"y", at=t)
+    with pytest.raises(RuntimeError):
+        db.get(b"k", at=t)
+
+
+def test_stats_count_operations(db):
+    t = db.put(b"a", b"1", at=0)
+    t = db.put(b"b", b"2", at=t)
+    _, t = db.get(b"a", at=t)
+    t = db.delete(b"a", at=t)
+    pairs, t = db.scan(b"a", 5, at=t)
+    assert db.stats.puts == 2
+    assert db.stats.gets == 1
+    assert db.stats.deletes == 1
+    assert db.stats.scans == 1

@@ -1,0 +1,128 @@
+"""Unit tests for on-disk encodings."""
+
+import pytest
+
+from repro.lsm.format import (
+    CorruptionError,
+    MAX_SEQUENCE,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    crc32,
+    get_fixed32,
+    get_fixed64,
+    get_length_prefixed,
+    get_varint,
+    internal_compare,
+    make_internal_key,
+    pack_tag,
+    parse_internal_key,
+    put_fixed32,
+    put_fixed64,
+    put_length_prefixed,
+    put_varint,
+)
+
+
+@pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**21, 2**32 - 1, 2**56])
+def test_varint_roundtrip(value):
+    encoded = put_varint(value)
+    decoded, offset = get_varint(encoded)
+    assert decoded == value
+    assert offset == len(encoded)
+
+
+def test_varint_rejects_negative():
+    with pytest.raises(ValueError):
+        put_varint(-1)
+
+
+def test_varint_truncated_raises():
+    encoded = put_varint(300)
+    with pytest.raises(CorruptionError):
+        get_varint(encoded[:-1])
+
+
+def test_varint_in_stream():
+    buf = put_varint(5) + put_varint(1000) + b"tail"
+    first, pos = get_varint(buf)
+    second, pos = get_varint(buf, pos)
+    assert (first, second) == (5, 1000)
+    assert buf[pos:] == b"tail"
+
+
+@pytest.mark.parametrize("value", [0, 1, 0xFFFFFFFF])
+def test_fixed32_roundtrip(value):
+    assert get_fixed32(put_fixed32(value)) == value
+
+
+@pytest.mark.parametrize("value", [0, 1, 0xFFFFFFFFFFFFFFFF])
+def test_fixed64_roundtrip(value):
+    assert get_fixed64(put_fixed64(value)) == value
+
+
+def test_length_prefixed_roundtrip():
+    buf = put_length_prefixed(b"hello") + put_length_prefixed(b"")
+    first, pos = get_length_prefixed(buf)
+    second, pos = get_length_prefixed(buf, pos)
+    assert (first, second) == (b"hello", b"")
+    assert pos == len(buf)
+
+
+def test_length_prefixed_truncated():
+    buf = put_length_prefixed(b"hello")[:-1]
+    with pytest.raises(CorruptionError):
+        get_length_prefixed(buf)
+
+
+def test_crc32_differs_on_corruption():
+    data = b"some block contents"
+    corrupted = b"some block European"
+    assert crc32(data) != crc32(corrupted)
+
+
+def test_pack_tag_bounds():
+    assert pack_tag(0, TYPE_VALUE) == 1
+    assert pack_tag(MAX_SEQUENCE, TYPE_DELETION) == MAX_SEQUENCE << 8
+    with pytest.raises(ValueError):
+        pack_tag(MAX_SEQUENCE + 1, TYPE_VALUE)
+    with pytest.raises(ValueError):
+        pack_tag(0, 7)
+
+
+def test_internal_key_roundtrip():
+    key = make_internal_key(b"user", 42, TYPE_VALUE)
+    user, sequence, value_type = parse_internal_key(key)
+    assert user == b"user"
+    assert sequence == 42
+    assert value_type == TYPE_VALUE
+
+
+def test_parse_internal_key_too_short():
+    with pytest.raises(CorruptionError):
+        parse_internal_key(b"short")
+
+
+def test_internal_compare_orders_by_user_key():
+    a = make_internal_key(b"aaa", 5, TYPE_VALUE)
+    b = make_internal_key(b"bbb", 5, TYPE_VALUE)
+    assert internal_compare(a, b) < 0
+    assert internal_compare(b, a) > 0
+
+
+def test_internal_compare_newer_sequence_first():
+    older = make_internal_key(b"key", 5, TYPE_VALUE)
+    newer = make_internal_key(b"key", 9, TYPE_VALUE)
+    assert internal_compare(newer, older) < 0  # newer sorts first
+
+
+def test_internal_compare_equal():
+    a = make_internal_key(b"key", 5, TYPE_VALUE)
+    b = make_internal_key(b"key", 5, TYPE_VALUE)
+    assert internal_compare(a, b) == 0
+
+
+def test_internal_compare_deletion_vs_value_same_seq():
+    deletion = make_internal_key(b"key", 5, TYPE_DELETION)
+    value = make_internal_key(b"key", 5, TYPE_VALUE)
+    # higher tag (value type 1) sorts first, mirroring LevelDB
+    assert internal_compare(value, deletion) < 0

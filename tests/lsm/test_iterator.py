@@ -1,0 +1,132 @@
+"""Unit tests for merging, level, and DB iterators."""
+
+import pytest
+
+from repro.fs.stack import StorageStack
+from repro.lsm.db import DB
+from repro.lsm.format import (
+    MAX_SEQUENCE,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    make_internal_key,
+)
+from repro.lsm.iterator import (
+    DBIterator,
+    MemTableIterator,
+    MergingIterator,
+)
+from repro.lsm.memtable import MemTable
+from repro.lsm.options import KIB, Options
+
+
+def mt(*entries):
+    table = MemTable()
+    for seq, vtype, key, value in entries:
+        table.add(seq, vtype, key, value)
+    return table
+
+
+def drain(iterator):
+    out = []
+    while iterator.valid:
+        out.append((iterator.key, iterator.value))
+        iterator.next()
+    return out
+
+
+def test_memtable_iterator_order_and_seek():
+    source = MemTableIterator(
+        mt((1, TYPE_VALUE, b"b", b"2"), (2, TYPE_VALUE, b"a", b"1")), at=0
+    )
+    source.seek_to_first()
+    assert source.valid and source.key[:-8] == b"a"
+    source.seek(make_internal_key(b"b", MAX_SEQUENCE, TYPE_VALUE))
+    assert source.key[:-8] == b"b"
+    source.next()
+    assert not source.valid
+
+
+def test_merging_iterator_interleaves():
+    first = MemTableIterator(mt((1, TYPE_VALUE, b"a", b"1"), (2, TYPE_VALUE, b"c", b"3")), 0)
+    second = MemTableIterator(mt((3, TYPE_VALUE, b"b", b"2")), 0)
+    merger = MergingIterator([first, second], cpu_iter_next_ns=10)
+    merger.seek_to_first()
+    keys = [key[:-8] for key, _ in drain(merger)]
+    assert keys == [b"a", b"b", b"c"]
+
+
+def test_merging_iterator_newest_version_first():
+    old = MemTableIterator(mt((1, TYPE_VALUE, b"k", b"old")), 0)
+    new = MemTableIterator(mt((5, TYPE_VALUE, b"k", b"new")), 0)
+    merger = MergingIterator([old, new], cpu_iter_next_ns=10)
+    merger.seek_to_first()
+    entries = drain(merger)
+    assert [v for _, v in entries] == [b"new", b"old"]
+
+
+def test_db_iterator_dedupes_and_skips_tombstones():
+    source = MemTableIterator(
+        mt(
+            (5, TYPE_VALUE, b"a", b"newest"),
+            (6, TYPE_DELETION, b"b", b""),
+            (7, TYPE_VALUE, b"c", b"live"),
+        ),
+        0,
+    )
+    older = MemTableIterator(
+        mt((1, TYPE_VALUE, b"a", b"stale"), (2, TYPE_VALUE, b"b", b"dead")),
+        0,
+    )
+    merger = MergingIterator([source, older], cpu_iter_next_ns=10)
+    iterator = DBIterator(merger)
+    iterator.seek_to_first()
+    assert drain_db(iterator) == [(b"a", b"newest"), (b"c", b"live")]
+
+
+def drain_db(iterator):
+    out = []
+    while iterator.valid:
+        out.append((iterator.key, iterator.value))
+        iterator.next()
+    return out
+
+
+def test_db_iterator_seek():
+    source = MemTableIterator(
+        mt(*[(i + 1, TYPE_VALUE, f"k{i:02d}".encode(), b"v") for i in range(10)]),
+        0,
+    )
+    merger = MergingIterator([source], cpu_iter_next_ns=10)
+    iterator = DBIterator(merger)
+    iterator.seek(b"k05")
+    assert iterator.key == b"k05"
+    iterator.seek(b"k99")
+    assert not iterator.valid
+
+
+def test_level_iterator_through_db():
+    """Scans over a multi-level store use the level iterator path."""
+    stack = StorageStack()
+    options = Options(
+        write_buffer_size=4 * KIB,
+        max_file_size=4 * KIB,
+        max_bytes_for_level_base=8 * KIB,
+    )
+    db = DB(stack, options=options)
+    t = 0
+    expected = {}
+    for i in range(600):
+        key = f"key{(i * 37) % 500:05d}".encode()
+        value = f"v{i}".encode()
+        t = db.put(key, value, at=t)
+        expected[key] = value
+    t = db.wait_for_background(t)
+    assert any(db.versions.current.files[level] for level in range(1, 7))
+    pairs, t = db.scan(b"key00100", 25, at=t)
+    assert len(pairs) == 25
+    assert pairs[0][0] >= b"key00100"
+    for key, value in pairs:
+        assert expected[key] == value
+    # iteration time advanced
+    iterator = db.iterate(at=t)
+    assert iterator.time >= t

@@ -1,0 +1,88 @@
+"""Unit tests for the memtable."""
+
+import pytest
+
+from repro.lsm.format import TYPE_DELETION, TYPE_VALUE
+from repro.lsm.memtable import ENTRY_OVERHEAD, MemTable
+
+
+@pytest.fixture()
+def memtable():
+    return MemTable()
+
+
+def test_empty_memtable(memtable):
+    assert memtable.empty
+    assert len(memtable) == 0
+    assert memtable.get(b"missing") is None
+
+
+def test_add_and_get(memtable):
+    memtable.add(1, TYPE_VALUE, b"key", b"value")
+    assert memtable.get(b"key") == (True, b"value")
+    assert not memtable.empty
+
+
+def test_newest_write_wins(memtable):
+    memtable.add(1, TYPE_VALUE, b"key", b"old")
+    memtable.add(2, TYPE_VALUE, b"key", b"new")
+    assert memtable.get(b"key") == (True, b"new")
+    assert len(memtable) == 2  # both versions retained (snapshots)
+
+
+def test_sequence_bound_reads_older_version(memtable):
+    memtable.add(1, TYPE_VALUE, b"key", b"old")
+    memtable.add(2, TYPE_VALUE, b"key", b"new")
+    assert memtable.get(b"key", sequence_bound=1) == (True, b"old")
+    assert memtable.get(b"key", sequence_bound=0) is None
+
+
+def test_deletion_returns_tombstone(memtable):
+    memtable.add(1, TYPE_VALUE, b"key", b"value")
+    memtable.add(2, TYPE_DELETION, b"key", b"")
+    assert memtable.get(b"key") == (False, b"")
+
+
+def test_bad_type_rejected(memtable):
+    with pytest.raises(ValueError):
+        memtable.add(1, 9, b"key", b"value")
+
+
+def test_memory_accounting_grows(memtable):
+    memtable.add(1, TYPE_VALUE, b"key", b"v" * 100)
+    expected = len(b"key") + 100 + ENTRY_OVERHEAD
+    assert memtable.approximate_memory_usage == expected
+
+
+def test_memory_accounting_accumulates_versions(memtable):
+    memtable.add(1, TYPE_VALUE, b"key", b"v" * 100)
+    memtable.add(2, TYPE_VALUE, b"key", b"v" * 10)
+    expected = 2 * (len(b"key") + ENTRY_OVERHEAD) + 100 + 10
+    assert memtable.approximate_memory_usage == expected
+
+
+def test_sorted_entries_in_key_order(memtable):
+    for i, key in enumerate([b"zebra", b"apple", b"mango"]):
+        memtable.add(i + 1, TYPE_VALUE, key, b"v")
+    keys = [key for key, _, _, _ in memtable.sorted_entries()]
+    assert keys == [b"apple", b"mango", b"zebra"]
+
+
+def test_sorted_entries_versions_newest_first(memtable):
+    memtable.add(1, TYPE_VALUE, b"k", b"v1")
+    memtable.add(2, TYPE_VALUE, b"k", b"v2")
+    entries = list(memtable.sorted_entries())
+    assert [(s, v) for _, s, _, v in entries] == [(2, b"v2"), (1, b"v1")]
+
+
+def test_sorted_entries_carry_metadata(memtable):
+    memtable.add(7, TYPE_DELETION, b"key", b"")
+    entries = list(memtable.sorted_entries())
+    assert entries == [(b"key", 7, TYPE_DELETION, b"")]
+
+
+def test_smallest_largest(memtable):
+    for i, key in enumerate([b"m", b"a", b"z"]):
+        memtable.add(i + 1, TYPE_VALUE, key, b"v")
+    assert memtable.smallest_key() == b"a"
+    assert memtable.largest_key() == b"z"

@@ -1,0 +1,106 @@
+"""Unit tests for store options and scaling."""
+
+import pytest
+
+from repro.lsm.options import KIB, MIB, Options, SyncPolicy, level_file_limits
+
+
+def test_defaults_match_paper_setup():
+    options = Options()
+    assert options.write_buffer_size == 64 * MIB
+    assert options.max_file_size == 64 * MIB
+    assert options.l0_compaction_trigger == 4
+    assert options.l0_slowdown_writes_trigger == 8
+    assert options.l0_stop_writes_trigger == 12
+
+
+def test_default_sync_policy_is_stock_leveldb():
+    policy = SyncPolicy()
+    assert policy.sync_minor and policy.sync_major and policy.sync_manifest
+    assert not policy.sync_wal
+    assert not policy.nob_commit
+
+
+def test_level_limits_multiply():
+    options = Options(max_bytes_for_level_base=10 * MIB, level_multiplier=10)
+    assert options.max_bytes_for_level(1) == 10 * MIB
+    assert options.max_bytes_for_level(2) == 100 * MIB
+    assert options.max_bytes_for_level(3) == 1000 * MIB
+
+
+def test_level_zero_has_no_byte_limit():
+    with pytest.raises(ValueError):
+        Options().max_bytes_for_level(0)
+
+
+def test_level_file_limits_helper():
+    options = Options(num_levels=4, max_bytes_for_level_base=100)
+    assert level_file_limits(options) == [100.0, 1000.0, 10000.0]
+
+
+def test_scaled_shrinks_capacities_not_block():
+    options = Options().scaled(1000)
+    assert options.write_buffer_size == 64 * MIB // 1000
+    assert options.max_file_size == 64 * MIB // 1000
+    assert options.block_size == Options().block_size
+    assert options.max_bytes_for_level_base == 10 * MIB // 1000
+
+
+def test_scaled_floors():
+    options = Options().scaled(10**9)
+    assert options.write_buffer_size == 4 * KIB
+    assert options.max_file_size == 4 * KIB
+    assert options.max_bytes_for_level_base == 2 * KIB
+
+
+def test_scaled_rejects_below_one():
+    with pytest.raises(ValueError):
+        Options().scaled(0.5)
+
+
+def test_scaled_copies_sync_policy():
+    base = Options()
+    scaled = base.scaled(10)
+    scaled.sync.sync_minor = False
+    assert base.sync.sync_minor  # not shared
+
+
+def test_compaction_limits_track_file_size():
+    options = Options(max_file_size=1 * MIB)
+    assert options.expanded_compaction_limit() == 25 * MIB
+    assert options.grandparent_overlap_limit() == 10 * MIB
+
+
+def test_validate_accepts_defaults_and_scaled():
+    Options().validate()
+    Options().scaled(1000).validate()
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("write_buffer_size", 0),
+        ("max_file_size", -1),
+        ("block_size", 0),
+        ("num_levels", 1),
+        ("level_multiplier", 1),
+        ("l0_compaction_trigger", 0),
+        ("background_threads", 0),
+        ("reclaim_interval_ns", 0),
+    ],
+)
+def test_validate_rejects_bad_values(field, value):
+    options = Options()
+    setattr(options, field, value)
+    with pytest.raises(ValueError):
+        options.validate()
+
+
+def test_validate_rejects_inverted_triggers():
+    options = Options(
+        l0_compaction_trigger=10,
+        l0_slowdown_writes_trigger=8,
+        l0_stop_writes_trigger=12,
+    )
+    with pytest.raises(ValueError):
+        options.validate()

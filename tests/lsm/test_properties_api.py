@@ -1,0 +1,95 @@
+"""Unit tests for GetProperty / GetApproximateSizes."""
+
+import random
+
+import pytest
+
+from repro.bench.harness import ScaledConfig
+
+
+def filled(n=800, seed=1):
+    config = ScaledConfig(scale=5000)
+    stack, db = config.build_store("leveldb")
+    rng = random.Random(seed)
+    t = 0
+    for _ in range(n):
+        key = f"key{rng.randrange(n):05d}".encode()
+        t = db.put(key, b"v" * 200, at=t)
+    t = db.wait_for_background(t)
+    return db, t
+
+
+def test_num_files_at_level():
+    db, t = filled()
+    total = 0
+    for level in range(db.options.num_levels):
+        value = db.get_property(f"leveldb.num-files-at-level{level}")
+        assert value is not None
+        total += int(value)
+    assert total == len(db.versions.current.all_file_numbers())
+
+
+def test_num_files_bad_level():
+    db, t = filled(n=50)
+    assert db.get_property("leveldb.num-files-at-level99") is None
+    assert db.get_property("leveldb.num-files-at-levelX") is None
+
+
+def test_stats_property():
+    db, t = filled()
+    stats = db.get_property("leveldb.stats")
+    assert "Compactions" in stats
+    assert "Level" in stats
+
+
+def test_sstables_property_lists_files():
+    db, t = filled()
+    listing = db.get_property("leveldb.sstables")
+    for number in db.versions.current.all_file_numbers():
+        assert str(number) in listing
+
+
+def test_memory_usage_property():
+    db, t = filled()
+    usage = int(db.get_property("leveldb.approximate-memory-usage"))
+    assert usage >= db.mem.approximate_memory_usage
+
+
+def test_unknown_property_returns_none():
+    db, t = filled(n=50)
+    assert db.get_property("leveldb.nope") is None
+    assert db.get_property("rocksdb.stats") is None
+
+
+def test_approximate_sizes_covers_everything():
+    db, t = filled()
+    (size,) = db.get_approximate_sizes([(b"key00000", b"kez")])
+    live_bytes = sum(
+        f.file_size
+        for files in db.versions.current.files
+        for f in files
+    )
+    assert size == live_bytes
+
+
+def test_approximate_sizes_partial_ranges():
+    db, t = filled()
+    whole, = db.get_approximate_sizes([(b"key00000", b"kez")])
+    first_half, second_half = db.get_approximate_sizes(
+        [(b"key00000", b"key00400"), (b"key00400", b"kez")]
+    )
+    assert 0 < first_half < whole
+    assert 0 < second_half < whole
+    assert first_half + second_half == pytest.approx(whole, rel=0.25)
+
+
+def test_approximate_sizes_empty_range():
+    db, t = filled()
+    (size,) = db.get_approximate_sizes([(b"zzz", b"zzzz")])
+    assert size == 0
+
+
+def test_approximate_sizes_rejects_inverted():
+    db, t = filled(n=50)
+    with pytest.raises(ValueError):
+        db.get_approximate_sizes([(b"b", b"a")])

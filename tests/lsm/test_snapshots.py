@@ -1,0 +1,146 @@
+"""Snapshot reads: pinned views across writes, compactions and scans."""
+
+import random
+
+import pytest
+
+from repro.bench.harness import ScaledConfig
+from repro.lsm.db import Snapshot
+
+
+def store(scale=10_000, name="leveldb"):
+    config = ScaledConfig(scale=scale)
+    return config.build_store(name)
+
+
+def test_snapshot_pins_point_reads():
+    _, db = store()
+    t = db.put(b"k", b"v1", at=0)
+    snap = db.get_snapshot()
+    t = db.put(b"k", b"v2", at=t)
+    value, t = db.get(b"k", at=t)
+    assert value == b"v2"
+    value, t = db.get(b"k", at=t, snapshot=snap)
+    assert value == b"v1"
+
+
+def test_snapshot_hides_later_inserts():
+    _, db = store()
+    t = db.put(b"a", b"1", at=0)
+    snap = db.get_snapshot()
+    t = db.put(b"b", b"2", at=t)
+    value, t = db.get(b"b", at=t, snapshot=snap)
+    assert value is None
+
+
+def test_snapshot_sees_through_deletes():
+    _, db = store()
+    t = db.put(b"k", b"alive", at=0)
+    snap = db.get_snapshot()
+    t = db.delete(b"k", at=t)
+    value, t = db.get(b"k", at=t)
+    assert value is None
+    value, t = db.get(b"k", at=t, snapshot=snap)
+    assert value == b"alive"
+
+
+def test_snapshot_survives_compactions():
+    stack, db = store()
+    rng = random.Random(1)
+    t = 0
+    v1 = {}
+    for i in range(300):
+        key = f"key{i:04d}".encode()
+        value = f"gen1-{rng.randrange(10**6)}".encode() * 4
+        t = db.put(key, value, at=t)
+        v1[key] = value
+    snap = db.get_snapshot()
+    for i in range(300):
+        key = f"key{i:04d}".encode()
+        t = db.put(key, f"gen2-{rng.randrange(10**6)}".encode() * 4, at=t)
+    t = db.compact_range(t)  # heavy rewriting while the snapshot is live
+    for key in sorted(v1)[::13]:
+        value, t = db.get(key, at=t, snapshot=snap)
+        assert value == v1[key], f"snapshot lost {key!r}"
+
+
+def test_snapshot_scan_is_frozen():
+    _, db = store()
+    t = 0
+    for i in range(50):
+        t = db.put(f"key{i:03d}".encode(), b"old", at=t)
+    snap = db.get_snapshot()
+    for i in range(50, 60):
+        t = db.put(f"key{i:03d}".encode(), b"new", at=t)
+    t = db.put(b"key005", b"updated", at=t)
+    pairs, t = db.scan(b"key000", 100, at=t, snapshot=snap)
+    assert len(pairs) == 50  # later inserts invisible
+    assert dict(pairs)[b"key005"] == b"old"
+
+
+def test_release_allows_version_dropping():
+    stack, db = store()
+    t = db.put(b"k", b"v1", at=0)
+    snap = db.get_snapshot()
+    assert db._smallest_snapshot() == snap.sequence
+    db.release_snapshot(snap)
+    assert db._smallest_snapshot() == db.versions.last_sequence
+    with pytest.raises(ValueError):
+        db.get(b"k", at=t, snapshot=snap)
+
+
+def test_compaction_drops_unpinned_versions():
+    stack, db = store()
+    t = 0
+    for _ in range(200):
+        t = db.put(b"hotkey", b"x" * 300, at=t)
+    t = db.compact_range(t)
+    # without snapshots only the newest version survives anywhere
+    iterator = db.iterate(at=t)
+    count = 0
+    while iterator.valid:
+        count += 1
+        iterator.next()
+    assert count == 1
+
+
+def test_snapshot_on_noblsm():
+    stack, db = store(name="noblsm")
+    t = db.put(b"k", b"v1", at=0)
+    snap = db.get_snapshot()
+    t = db.put(b"k", b"v2", at=t)
+    for i in range(400):
+        t = db.put(f"fill{i:05d}".encode(), b"f" * 200, at=t)
+    value, t = db.get(b"k", at=t, snapshot=snap)
+    assert value == b"v1"
+
+
+def test_snapshot_on_l2sm_hot_keys():
+    stack, db = store(name="l2sm")
+    t = 0
+    for _ in range(200):
+        t = db.put(b"hot", b"v-old", at=t)
+    snap = db.get_snapshot()
+    for _ in range(200):
+        t = db.put(b"hot", b"v-new", at=t)
+    value, t = db.get(b"hot", at=t)
+    assert value == b"v-new"
+    # Documented limitation of the hot store: it keeps only the newest
+    # version, so a snapshot read of a hot key may miss — but it must
+    # never leak a post-snapshot value.
+    value, t = db.get(b"hot", at=t, snapshot=snap)
+    assert value != b"v-new"
+
+
+def test_multiple_snapshots_independent():
+    _, db = store()
+    t = db.put(b"k", b"v1", at=0)
+    snap1 = db.get_snapshot()
+    t = db.put(b"k", b"v2", at=t)
+    snap2 = db.get_snapshot()
+    t = db.put(b"k", b"v3", at=t)
+    assert db.get(b"k", at=t, snapshot=snap1)[0] == b"v1"
+    assert db.get(b"k", at=t, snapshot=snap2)[0] == b"v2"
+    assert db.get(b"k", at=t)[0] == b"v3"
+    db.release_snapshot(snap1)
+    assert db.get(b"k", at=t, snapshot=snap2)[0] == b"v2"

@@ -1,0 +1,190 @@
+"""Unit tests for SSTable building, reading, and iteration."""
+
+import pytest
+
+from repro.fs.stack import StorageStack
+from repro.lsm.format import (
+    CorruptionError,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    make_internal_key,
+)
+from repro.lsm.options import Options
+from repro.lsm.sstable import Table, TableBuilder
+
+
+@pytest.fixture()
+def stack():
+    return StorageStack()
+
+
+def small_options():
+    return Options(block_size=256)
+
+
+def build_table(stack, entries, path="table.ldb"):
+    builder = TableBuilder(stack.fs, path, small_options(), at=0)
+    for internal_key, value in entries:
+        builder.add(internal_key, value)
+    size, t = builder.finish(at=0)
+    return size, t
+
+
+def sample_entries(n=200, seq_base=100):
+    return [
+        (
+            make_internal_key(f"key{i:05d}".encode(), seq_base + i, TYPE_VALUE),
+            f"value-{i}".encode() * 3,
+        )
+        for i in range(n)
+    ]
+
+
+def test_build_creates_real_file(stack):
+    size, _ = build_table(stack, sample_entries())
+    assert stack.fs.exists("table.ldb")
+    assert stack.fs.stat_size("table.ldb") == size
+
+
+def test_open_and_get(stack):
+    entries = sample_entries()
+    build_table(stack, entries)
+    table, t = Table.open(stack.fs, "table.ldb", at=0)
+    result, t = table.get(b"key00042", at=t)
+    assert result == (True, b"value-42" * 3)
+
+
+def test_get_missing_key(stack):
+    build_table(stack, sample_entries())
+    table, t = Table.open(stack.fs, "table.ldb", at=0)
+    result, t = table.get(b"nope", at=t)
+    assert result is None
+
+
+def test_get_tombstone(stack):
+    entries = [
+        (make_internal_key(b"dead", 5, TYPE_DELETION), b""),
+        (make_internal_key(b"live", 6, TYPE_VALUE), b"v"),
+    ]
+    build_table(stack, entries)
+    table, t = Table.open(stack.fs, "table.ldb", at=0)
+    result, t = table.get(b"dead", at=t)
+    assert result == (False, b"")
+
+
+def test_newest_version_returned(stack):
+    entries = [
+        (make_internal_key(b"key", 9, TYPE_VALUE), b"new"),
+        (make_internal_key(b"key", 5, TYPE_VALUE), b"old"),
+    ]
+    build_table(stack, entries)
+    table, t = Table.open(stack.fs, "table.ldb", at=0)
+    result, t = table.get(b"key", at=t)
+    assert result == (True, b"new")
+
+
+def test_builder_rejects_out_of_order(stack):
+    builder = TableBuilder(stack.fs, "t.ldb", small_options(), at=0)
+    builder.add(make_internal_key(b"b", 1, TYPE_VALUE), b"v")
+    with pytest.raises(ValueError):
+        builder.add(make_internal_key(b"a", 1, TYPE_VALUE), b"v")
+
+
+def test_builder_tracks_bounds(stack):
+    entries = sample_entries(50)
+    builder = TableBuilder(stack.fs, "t.ldb", small_options(), at=0)
+    for internal_key, value in entries:
+        builder.add(internal_key, value)
+    builder.finish(at=0)
+    assert builder.smallest == entries[0][0]
+    assert builder.largest == entries[-1][0]
+    assert builder.num_entries == 50
+
+
+def test_open_bad_magic_raises(stack):
+    handle, t = stack.fs.create("junk.ldb", at=0)
+    handle.append(b"x" * 100, at=t)
+    with pytest.raises(CorruptionError):
+        Table.open(stack.fs, "junk.ldb", at=0)
+
+
+def test_open_too_small_raises(stack):
+    handle, t = stack.fs.create("tiny.ldb", at=0)
+    handle.append(b"xy", at=t)
+    with pytest.raises(CorruptionError):
+        Table.open(stack.fs, "tiny.ldb", at=0)
+
+
+def test_truncated_table_detected(stack):
+    """A crash-truncated table fails to open (recovery validation)."""
+    size, t = build_table(stack, sample_entries())
+    stack.fs.crash()  # never committed: file is gone entirely
+    assert not stack.fs.exists("table.ldb")
+
+
+def test_all_entries_roundtrip(stack):
+    entries = sample_entries(300)
+    build_table(stack, entries)
+    table, t = Table.open(stack.fs, "table.ldb", at=0)
+    read, t = table.all_entries(at=t)
+    assert read == entries
+
+
+def test_iterator_full_scan(stack):
+    entries = sample_entries(150)
+    build_table(stack, entries)
+    table, t = Table.open(stack.fs, "table.ldb", at=0)
+    iterator = table.iterate(t)
+    iterator.seek_to_first()
+    seen = []
+    while iterator.valid:
+        seen.append((iterator.key, iterator.value))
+        iterator.next()
+    assert seen == entries
+
+
+def test_iterator_seek(stack):
+    entries = sample_entries(150)
+    build_table(stack, entries)
+    table, t = Table.open(stack.fs, "table.ldb", at=0)
+    iterator = table.iterate(t)
+    iterator.seek(make_internal_key(b"key00100", 2**40, TYPE_VALUE))
+    assert iterator.valid
+    assert iterator.key[:-8] == b"key00100"
+
+
+def test_iterator_seek_past_end(stack):
+    build_table(stack, sample_entries(10))
+    table, t = Table.open(stack.fs, "table.ldb", at=0)
+    iterator = table.iterate(t)
+    iterator.seek(make_internal_key(b"zzz", 2**40, TYPE_VALUE))
+    assert not iterator.valid
+
+
+def test_smallest_largest_and_max_sequence(stack):
+    entries = sample_entries(80, seq_base=1000)
+    build_table(stack, entries)
+    table, t = Table.open(stack.fs, "table.ldb", at=0)
+    smallest, t = table.smallest_key(t)
+    assert smallest == entries[0][0]
+    assert table.largest_key() == entries[-1][0]
+    max_seq, t = table.max_sequence(t)
+    assert max_seq == 1000 + 79
+
+
+def test_reads_charge_time(stack):
+    build_table(stack, sample_entries(300))
+    stack.pagecache.drop_all()
+    table, t0 = Table.open(stack.fs, "table.ldb", at=0)
+    result, t1 = table.get(b"key00222", at=t0)
+    assert result is not None
+    assert t1 > t0
+
+
+def test_block_cache_avoids_rereads(stack):
+    build_table(stack, sample_entries(10))
+    table, t = Table.open(stack.fs, "table.ldb", at=0)
+    _, t1 = table.get(b"key00003", at=t)
+    reads_before = stack.ssd.stats.read_ios
+    _, t2 = table.get(b"key00003", at=t1)
+    assert stack.ssd.stats.read_ios == reads_before

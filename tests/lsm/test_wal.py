@@ -1,0 +1,98 @@
+"""Unit tests for the write-ahead log: framing, replay, torn tails."""
+
+import pytest
+
+from repro.fs.stack import StorageStack
+from repro.lsm.format import TYPE_DELETION, TYPE_VALUE, CorruptionError
+from repro.lsm.wal import LogReader, LogWriter, decode_batch, encode_batch
+
+
+@pytest.fixture()
+def stack():
+    return StorageStack()
+
+
+def make_log(stack, path="wal"):
+    handle, _ = stack.fs.create(path, at=0)
+    return LogWriter(handle)
+
+
+def test_encode_decode_roundtrip():
+    entries = [(TYPE_VALUE, b"k1", b"v1"), (TYPE_DELETION, b"k2", b"")]
+    record = encode_batch(42, entries)
+    sequence, decoded = decode_batch(record[8:])
+    assert sequence == 42
+    assert decoded == entries
+
+
+def test_encode_rejects_bad_type():
+    with pytest.raises(ValueError):
+        encode_batch(1, [(9, b"k", b"v")])
+
+
+def test_decode_truncated_raises():
+    record = encode_batch(1, [(TYPE_VALUE, b"key", b"value")])
+    with pytest.raises(CorruptionError):
+        decode_batch(record[8:-3])
+
+
+def test_write_then_replay(stack):
+    writer = make_log(stack)
+    t = writer.add_record(1, [(TYPE_VALUE, b"a", b"1")], at=0)
+    t = writer.add_record(2, [(TYPE_VALUE, b"b", b"2"), (TYPE_VALUE, b"c", b"3")], at=t)
+    reader = LogReader(writer.handle)
+    records = list(reader.records(at=t))
+    assert records == [
+        (1, [(TYPE_VALUE, b"a", b"1")]),
+        (2, [(TYPE_VALUE, b"b", b"2"), (TYPE_VALUE, b"c", b"3")]),
+    ]
+    assert not reader.dropped_tail
+
+
+def test_empty_log_replays_nothing(stack):
+    writer = make_log(stack)
+    reader = LogReader(writer.handle)
+    assert list(reader.records(at=0)) == []
+    assert not reader.dropped_tail
+
+
+def test_torn_tail_after_crash_drops_only_tail(stack):
+    writer = make_log(stack)
+    t = writer.add_record(1, [(TYPE_VALUE, b"a", b"1")], at=0)
+    t = writer.handle.fsync(at=t)  # first record durable
+    t = writer.add_record(2, [(TYPE_VALUE, b"b", b"2")], at=t)
+    stack.fs.crash()
+    handle, t = stack.fs.open("wal", at=stack.now)
+    reader = LogReader(handle)
+    records = list(reader.records(at=t))
+    assert records == [(1, [(TYPE_VALUE, b"a", b"1")])]
+
+
+def test_partially_durable_record_is_dropped(stack):
+    """A record whose bytes were only partially written back is skipped."""
+    writer = make_log(stack)
+    t = writer.add_record(1, [(TYPE_VALUE, b"key", b"v" * 100)], at=0)
+    full = writer.handle.size
+    # write back only part of the record, then 'commit' that state
+    inode = writer.handle._inode
+    stack.fs.writeback_inode(inode.ino, t, max_bytes=full - 10)
+    stack.journal.commit_sync(t)
+    stack.fs.crash()
+    handle, t = stack.fs.open("wal", at=stack.now)
+    assert handle.size == full - 10
+    reader = LogReader(handle)
+    assert list(reader.records(at=t)) == []
+    assert reader.dropped_tail
+
+
+def test_large_batch_roundtrip(stack):
+    writer = make_log(stack)
+    entries = [
+        (TYPE_VALUE, f"key{i:05d}".encode(), bytes(50) + bytes([i % 256]))
+        for i in range(500)
+    ]
+    t = writer.add_record(10, entries, at=0)
+    reader = LogReader(writer.handle)
+    (sequence, decoded), = list(reader.records(at=t))
+    assert sequence == 10
+    assert decoded == entries

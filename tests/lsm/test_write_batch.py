@@ -1,0 +1,62 @@
+"""Unit tests for the WriteBatch API."""
+
+import pytest
+
+from repro.bench.harness import ScaledConfig
+from repro.lsm.write_batch import WriteBatch
+
+
+def test_batch_accumulates():
+    batch = WriteBatch()
+    batch.put(b"a", b"1")
+    batch.delete(b"b")
+    assert len(batch) == 2
+    assert batch.approximate_size > 0
+
+
+def test_batch_clear():
+    batch = WriteBatch()
+    batch.put(b"a", b"1")
+    batch.clear()
+    assert len(batch) == 0
+
+
+def test_batch_append():
+    first = WriteBatch()
+    first.put(b"a", b"1")
+    second = WriteBatch()
+    second.put(b"b", b"2")
+    first.append(second)
+    assert len(first) == 2
+
+
+def test_apply_batch_to_db():
+    config = ScaledConfig(scale=10_000)
+    _, db = config.build_store("leveldb")
+    batch = WriteBatch()
+    for i in range(10):
+        batch.put(f"k{i}".encode(), f"v{i}".encode())
+    batch.delete(b"k3")
+    t = db.apply(batch, at=0)
+    value, t = db.get(b"k1", at=t)
+    assert value == b"v1"
+    value, t = db.get(b"k3", at=t)
+    assert value is None
+
+
+def test_apply_empty_batch_is_free():
+    config = ScaledConfig(scale=10_000)
+    _, db = config.build_store("leveldb")
+    assert db.apply(WriteBatch(), at=123) == 123
+
+
+def test_batch_atomic_sequence_numbers():
+    config = ScaledConfig(scale=10_000)
+    _, db = config.build_store("leveldb")
+    before = db.versions.last_sequence
+    batch = WriteBatch()
+    for i in range(5):
+        batch.put(f"k{i}".encode(), b"v")
+    db.apply(batch, at=0)
+    assert db.versions.last_sequence == before + 5
+    assert db.stats.wal_records == 1  # one record for the whole batch

@@ -1,0 +1,104 @@
+"""Property tests for the dependency tracker's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dependency import DependencyTracker, SSTableRef
+
+
+def ref(number):
+    return SSTableRef(number=number, ino=number + 10_000, path=f"db/{number}.ldb")
+
+
+chains = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),  # p
+        st.integers(min_value=1, max_value=4),  # q
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build_chain(tracker, shape):
+    """Register groups where each group consumes the previous one's
+    successors (plus fresh files), mimicking compaction lineages."""
+    groups = []
+    next_number = 1
+    available = []
+    for p, q in shape:
+        predecessors = []
+        for _ in range(p):
+            if available:
+                predecessors.append(available.pop())
+            else:
+                predecessors.append(ref(next_number))
+                next_number += 1
+        successors = []
+        for _ in range(q):
+            successors.append(ref(next_number))
+            next_number += 1
+        groups.append(tracker.register(predecessors, successors))
+        available.extend(successors)
+    return groups
+
+
+@settings(max_examples=100, deadline=None)
+@given(shape=chains, committed_fraction=st.floats(min_value=0, max_value=1))
+def test_reclaimable_is_always_a_resolved_prefix(shape, committed_fraction):
+    tracker = DependencyTracker()
+    groups = build_chain(tracker, shape)
+    # commit an arbitrary subset of inos
+    all_inos = {
+        r.ino for g in groups for r in g.successors
+    }
+    committed = {
+        ino for ino in all_inos if (ino * 2654435761) % 1000 < committed_fraction * 1000
+    }
+    tracker.resolve(lambda ino: ino in committed)
+    ready = tracker.reclaimable()
+    # invariant 1: everything reclaimable is resolved
+    assert all(g.resolved for g in ready)
+    # invariant 2: reclaimable groups form a prefix in registration order
+    ready_ids = [g.group_id for g in ready]
+    all_ids = sorted(g.group_id for g in groups)
+    assert ready_ids == all_ids[: len(ready_ids)]
+    # invariant 3: any group after an unresolved one is not reclaimable
+    unresolved = [g.group_id for g in groups if not g.resolved]
+    if unresolved:
+        first_unresolved = min(unresolved)
+        assert all(gid < first_unresolved for gid in ready_ids)
+
+
+@settings(max_examples=100, deadline=None)
+@given(shape=chains)
+def test_resolution_is_monotone(shape):
+    """Once resolved, a group stays resolved even if entries vanish."""
+    tracker = DependencyTracker()
+    groups = build_chain(tracker, shape)
+    all_inos = [r.ino for g in groups for r in g.successors]
+    committed = set()
+    resolved_so_far = set()
+    for ino in all_inos:
+        committed.add(ino)
+        tracker.resolve(lambda i: i in committed)
+        now_resolved = {g.group_id for g in groups if g.resolved}
+        assert resolved_so_far <= now_resolved  # never un-resolves
+        resolved_so_far = now_resolved
+    # everything commits eventually -> everything resolves
+    assert resolved_so_far == {g.group_id for g in groups}
+
+
+@settings(max_examples=50, deadline=None)
+@given(shape=chains)
+def test_shadow_numbers_shrink_only_by_reclaim(shape):
+    tracker = DependencyTracker()
+    groups = build_chain(tracker, shape)
+    before = tracker.shadow_numbers()
+    tracker.resolve(lambda ino: True)
+    assert tracker.shadow_numbers() == before  # resolve alone frees nothing
+    for group in tracker.reclaimable():
+        tracker.mark_reclaimed(group)
+    after = tracker.shadow_numbers()
+    assert after <= before
+    assert after == set()  # all resolved -> all reclaimed

@@ -1,0 +1,87 @@
+"""Property tests for the simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.pagecache import PAGE_SIZE, PageCache
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue
+from repro.sim.latency import PM883
+from repro.sim.ssd import SSD
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=10_000), max_size=50),
+    st.integers(min_value=0, max_value=20_000),
+)
+def test_event_queue_fires_in_time_order(times, horizon):
+    queue = EventQueue(VirtualClock())
+    fired = []
+    for when in times:
+        queue.schedule(when, lambda t: fired.append(t))
+    queue.run_until(horizon)
+    assert fired == sorted(t for t in times if t <= horizon)
+    assert queue.clock.now == horizon
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=50))
+def test_event_queue_drain_fires_everything(times):
+    queue = EventQueue(VirtualClock())
+    fired = []
+    for when in times:
+        queue.schedule(when, lambda t: fired.append(t))
+    queue.drain()
+    assert fired == sorted(times)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["write", "read", "flush"]),
+            st.integers(min_value=1, max_value=10 * 1024 * 1024),
+            st.integers(min_value=0, max_value=10**9),
+        ),
+        max_size=40,
+    )
+)
+def test_device_completions_monotone_and_busy_grows(ops):
+    ssd = SSD(VirtualClock(), PM883)
+    last_done = 0
+    for kind, nbytes, at in ops:
+        if kind == "write":
+            done = ssd.write(nbytes, at)
+        elif kind == "read":
+            done = ssd.read(nbytes, at)
+        else:
+            done = ssd.flush(at)
+        # the shared FIFO timeline: completions never go backwards
+        assert done >= last_done
+        assert done >= at
+        last_done = done
+    assert ssd.busy_until == last_done
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["write", "read", "clean", "drop"]),
+            st.integers(min_value=0, max_value=8),  # ino
+            st.integers(min_value=0, max_value=40),  # page count
+        ),
+        max_size=60,
+    )
+)
+def test_pagecache_dirty_accounting_never_negative(ops):
+    cache = PageCache(capacity_bytes=64 * PAGE_SIZE)
+    for kind, ino, pages in ops:
+        nbytes = pages * PAGE_SIZE
+        if kind == "write":
+            cache.write(ino, 0, nbytes)
+        elif kind == "read":
+            cache.read_misses(ino, 0, nbytes)
+        elif kind == "clean":
+            cache.clean_inode(ino, nbytes)
+        else:
+            cache.drop_inode(ino)
+        assert cache.dirty_bytes >= 0
+        assert cache.dirty_bytes <= cache.resident_bytes + cache.capacity_bytes

@@ -1,0 +1,71 @@
+"""Property test: a snapshot is a frozen dict.
+
+Interleave writes, deletes and snapshot points; at the end, reads
+through every snapshot must reproduce exactly the model dict as it was
+at that snapshot's moment — regardless of the compactions that ran in
+between.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import ScaledConfig
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("put"),
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=0, max_value=10**6),
+        ),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=30)),
+        st.tuples(st.just("snap"), st.just(0)),
+    ),
+    min_size=5,
+    max_size=120,
+)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=operations)
+def test_snapshots_are_frozen_dicts(ops):
+    config = ScaledConfig(scale=30_000)  # tiny tables: constant compaction
+    _, db = config.build_store("leveldb")
+    model = {}
+    pinned = []  # (snapshot, dict copy)
+    t = 0
+    for op in ops:
+        if op[0] == "put":
+            key = f"key{op[1]:03d}".encode()
+            value = f"v{op[2]:07d}".encode() * 3
+            t = db.put(key, value, at=t)
+            model[key] = value
+        elif op[0] == "delete":
+            key = f"key{op[1]:03d}".encode()
+            t = db.delete(key, at=t)
+            model.pop(key, None)
+        else:
+            pinned.append((db.get_snapshot(), dict(model)))
+    t = db.wait_for_background(t)
+    for snapshot, frozen in pinned:
+        # point reads agree
+        for i in range(31):
+            key = f"key{i:03d}".encode()
+            value, t = db.get(key, at=t, snapshot=snapshot)
+            assert value == frozen.get(key)
+        # full scans agree
+        iterator = db.iterate(at=t, snapshot=snapshot)
+        seen = {}
+        while iterator.valid:
+            seen[iterator.key] = iterator.value
+            iterator.next()
+        assert seen == frozen
+    # the live view agrees with the final model
+    for i in range(31):
+        key = f"key{i:03d}".encode()
+        value, t = db.get(key, at=t)
+        assert value == model.get(key)

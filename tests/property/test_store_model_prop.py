@@ -1,0 +1,111 @@
+"""Property test: every store is observationally a dict.
+
+Random sequences of puts/deletes/gets against a tiny-table store (so
+compactions fire constantly) must always agree with a plain dict model —
+across all seven store variants.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.registry import STORE_CLASSES
+from repro.fs.jbd2 import JournalConfig
+from repro.fs.stack import StackConfig, StorageStack
+from repro.lsm.options import KIB, Options
+from repro.sim.clock import millis
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("put"),
+            st.integers(min_value=0, max_value=60),
+            st.integers(min_value=0, max_value=10**6),
+        ),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=60)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def tiny_store(name):
+    stack = StorageStack(
+        StackConfig(journal=JournalConfig(commit_interval_ns=millis(20)))
+    )
+    options = Options(
+        write_buffer_size=1 * KIB,
+        max_file_size=1 * KIB,
+        block_size=256,
+        max_bytes_for_level_base=2 * KIB,
+        l0_compaction_trigger=2,
+    )
+    options.reclaim_interval_ns = millis(20)
+    return STORE_CLASSES[name](stack, options=options)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=ops_strategy)
+def test_leveldb_matches_dict(ops):
+    _run_model(ops, "leveldb")
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=ops_strategy)
+def test_noblsm_matches_dict(ops):
+    _run_model(ops, "noblsm")
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=ops_strategy)
+def test_pebblesdb_matches_dict(ops):
+    _run_model(ops, "pebblesdb")
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=ops_strategy)
+def test_l2sm_matches_dict(ops):
+    _run_model(ops, "l2sm")
+
+
+def _run_model(ops, store_name):
+    db = tiny_store(store_name)
+    model = {}
+    t = 0
+    for op in ops:
+        if op[0] == "put":
+            key = f"key{op[1]:04d}".encode()
+            value = f"value{op[2]:08d}".encode() * 2
+            t = db.put(key, value, at=t)
+            model[key] = value
+        else:
+            key = f"key{op[1]:04d}".encode()
+            t = db.delete(key, at=t)
+            model.pop(key, None)
+    # point lookups agree
+    for i in range(61):
+        key = f"key{i:04d}".encode()
+        value, t = db.get(key, at=t)
+        assert value == model.get(key), f"{store_name}: mismatch for {key!r}"
+    # full iteration agrees
+    iterator = db.iterate(at=t)
+    seen = {}
+    while iterator.valid:
+        seen[iterator.key] = iterator.value
+        iterator.next()
+    assert seen == model, f"{store_name}: iteration mismatch"

@@ -1,0 +1,65 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import (
+    VirtualClock,
+    micros,
+    millis,
+    seconds,
+    to_micros,
+    to_seconds,
+)
+
+
+def test_clock_starts_at_zero():
+    clock = VirtualClock()
+    assert clock.now == 0
+
+
+def test_clock_custom_start():
+    clock = VirtualClock(start=100)
+    assert clock.now == 100
+
+
+def test_clock_rejects_negative_start():
+    with pytest.raises(ValueError):
+        VirtualClock(start=-1)
+
+
+def test_advance_to_moves_forward():
+    clock = VirtualClock()
+    assert clock.advance_to(50) == 50
+    assert clock.now == 50
+
+
+def test_advance_to_never_moves_backwards():
+    clock = VirtualClock(start=100)
+    assert clock.advance_to(50) == 100
+    assert clock.now == 100
+
+
+def test_advance_by_accumulates():
+    clock = VirtualClock()
+    clock.advance_by(10)
+    clock.advance_by(15)
+    assert clock.now == 25
+
+
+def test_advance_by_rejects_negative():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance_by(-1)
+
+
+def test_unit_conversions_roundtrip():
+    assert seconds(2) == 2_000_000_000
+    assert millis(3) == 3_000_000
+    assert micros(7) == 7_000
+    assert to_seconds(seconds(5)) == 5.0
+    assert to_micros(micros(9)) == 9.0
+
+
+def test_fractional_conversions():
+    assert seconds(0.5) == 500_000_000
+    assert millis(0.25) == 250_000

@@ -1,0 +1,122 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue
+
+
+@pytest.fixture()
+def queue():
+    return EventQueue(VirtualClock())
+
+
+def test_events_fire_in_time_order(queue):
+    fired = []
+    queue.schedule(30, lambda t: fired.append(("b", t)))
+    queue.schedule(10, lambda t: fired.append(("a", t)))
+    queue.schedule(20, lambda t: fired.append(("c", t)))
+    queue.run_until(100)
+    assert fired == [("a", 10), ("c", 20), ("b", 30)]
+
+
+def test_same_time_events_fire_in_schedule_order(queue):
+    fired = []
+    queue.schedule(10, lambda t: fired.append("first"))
+    queue.schedule(10, lambda t: fired.append("second"))
+    queue.run_until(10)
+    assert fired == ["first", "second"]
+
+
+def test_run_until_advances_clock(queue):
+    queue.run_until(500)
+    assert queue.clock.now == 500
+
+
+def test_events_after_target_do_not_fire(queue):
+    fired = []
+    queue.schedule(100, lambda t: fired.append(t))
+    queue.run_until(99)
+    assert fired == []
+    queue.run_until(100)
+    assert fired == [100]
+
+
+def test_cancelled_event_does_not_fire(queue):
+    fired = []
+    event = queue.schedule(10, lambda t: fired.append(t))
+    event.cancel()
+    queue.run_until(50)
+    assert fired == []
+
+
+def test_past_schedule_clamped_to_now(queue):
+    queue.clock.advance_to(100)
+    fired = []
+    queue.schedule(10, lambda t: fired.append(t))
+    queue.run_until(100)
+    assert fired == [100]
+
+
+def test_callback_can_schedule_more_events(queue):
+    fired = []
+
+    def chain(t):
+        fired.append(t)
+        if len(fired) < 3:
+            queue.schedule(t + 10, chain)
+
+    queue.schedule(10, chain)
+    queue.run_until(100)
+    assert fired == [10, 20, 30]
+
+
+def test_schedule_after_uses_current_time(queue):
+    queue.clock.advance_to(100)
+    fired = []
+    queue.schedule_after(50, lambda t: fired.append(t))
+    queue.run_until(200)
+    assert fired == [150]
+
+
+def test_schedule_after_rejects_negative_delay(queue):
+    with pytest.raises(ValueError):
+        queue.schedule_after(-5, lambda t: None)
+
+
+def test_len_counts_pending_only(queue):
+    e1 = queue.schedule(10, lambda t: None)
+    queue.schedule(20, lambda t: None)
+    assert len(queue) == 2
+    e1.cancel()
+    assert len(queue) == 1
+
+
+def test_next_event_time_skips_cancelled(queue):
+    e1 = queue.schedule(10, lambda t: None)
+    queue.schedule(20, lambda t: None)
+    e1.cancel()
+    assert queue.next_event_time() == 20
+
+
+def test_reentrant_run_until_is_flattened(queue):
+    fired = []
+
+    def outer(t):
+        fired.append(("outer", t))
+        # A callback advancing time itself must not recurse.
+        queue.run_until(t + 100)
+
+    queue.schedule(10, outer)
+    queue.schedule(20, lambda t: fired.append(("late", t)))
+    queue.run_until(60)
+    assert ("outer", 10) in fired
+    assert ("late", 20) in fired
+
+
+def test_drain_runs_everything(queue):
+    fired = []
+    for when in (5, 15, 25):
+        queue.schedule(when, lambda t: fired.append(t))
+    queue.drain()
+    assert fired == [5, 15, 25]

@@ -1,0 +1,71 @@
+"""Unit tests for device profiles and statistics records."""
+
+import pytest
+
+from repro.sim.latency import CpuProfile, DEFAULT_CPU, DeviceProfile, MIB, PM883
+from repro.sim.stats import DeviceStats, SyncStats
+
+
+def test_write_time_linear_in_bytes():
+    one = PM883.write_ns(MIB)
+    two = PM883.write_ns(2 * MIB)
+    assert two - one == pytest.approx(one - PM883.io_submit_ns, rel=0.01)
+
+
+def test_random_slower_than_sequential():
+    assert PM883.write_ns(MIB, sequential=False) > PM883.write_ns(MIB)
+    assert PM883.read_ns(MIB, sequential=False) > PM883.read_ns(MIB)
+
+
+def test_time_compressed_shrinks_fixed_costs_only():
+    compressed = PM883.time_compressed(1000)
+    assert compressed.flush_ns == PM883.flush_ns // 1000
+    assert compressed.io_submit_ns == PM883.io_submit_ns // 1000
+    assert compressed.seq_write_bw == PM883.seq_write_bw  # bandwidth kept
+
+
+def test_time_compressed_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        PM883.time_compressed(0)
+
+
+def test_cpu_memcpy_cost():
+    assert DEFAULT_CPU.memcpy_ns(0) == 0
+    one_mb = DEFAULT_CPU.memcpy_ns(MIB)
+    assert DEFAULT_CPU.memcpy_ns(2 * MIB) == pytest.approx(2 * one_mb, rel=0.01)
+
+
+def test_device_stats_snapshot_and_reset():
+    stats = DeviceStats(bytes_written=10, flushes=2, busy_ns=100)
+    snapshot = stats.snapshot()
+    assert snapshot["bytes_written"] == 10
+    assert snapshot["flushes"] == 2
+    stats.reset()
+    assert stats.bytes_written == 0
+    assert stats.busy_ns == 0
+
+
+def test_sync_stats_by_reason():
+    stats = SyncStats()
+    stats.record(100, "minor")
+    stats.record(200, "minor")
+    stats.record(50, "manifest")
+    assert stats.sync_calls == 3
+    assert stats.bytes_synced == 350
+    assert stats.by_reason == {"minor": 2, "manifest": 1}
+    assert stats.bytes_by_reason == {"minor": 300, "manifest": 50}
+
+
+def test_sync_stats_gib():
+    stats = SyncStats()
+    stats.record(2**30, "x")
+    assert stats.gib_synced == pytest.approx(1.0)
+
+
+def test_sync_stats_reset():
+    stats = SyncStats()
+    stats.record(100, "minor")
+    stats.reset()
+    assert stats.sync_calls == 0
+    assert stats.by_reason == {}
+    assert stats.snapshot()["bytes_synced"] == 0

@@ -1,0 +1,136 @@
+"""Unit tests for the SSD device model."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.latency import DeviceProfile, MIB, PM883, SLOW_HDD_LIKE
+from repro.sim.ssd import SSD
+
+
+@pytest.fixture()
+def ssd():
+    return SSD(VirtualClock(), PM883)
+
+
+def test_write_advances_busy_timeline(ssd):
+    done = ssd.write(MIB, at=0)
+    assert done > 0
+    assert ssd.busy_until == done
+
+
+def test_back_to_back_writes_queue(ssd):
+    first = ssd.write(MIB, at=0)
+    second = ssd.write(MIB, at=0)
+    assert second > first
+    # Identical service times: the second waits for the first.
+    assert second - first == first
+
+
+def test_idle_gap_does_not_queue(ssd):
+    first = ssd.write(MIB, at=0)
+    late = first + 1_000_000
+    second = ssd.write(MIB, at=late)
+    assert second - late == first  # same service time, no queueing
+
+
+def test_sequential_write_faster_than_random():
+    ssd = SSD(VirtualClock(), PM883)
+    seq = ssd.write(MIB, at=0, sequential=True)
+    ssd.reset()
+    rand = ssd.write(MIB, at=0, sequential=False)
+    assert rand > seq
+
+
+def test_read_faster_than_write_for_pm883(ssd):
+    wrote = ssd.write(MIB, at=0)
+    ssd.reset()
+    read = ssd.read(MIB, at=0)
+    assert read < wrote
+
+
+def test_flush_costs_barrier(ssd):
+    done = ssd.flush(at=0)
+    assert done == PM883.flush_ns + PM883.barrier_extra_ns
+    assert ssd.stats.flushes == 1
+
+
+def test_flush_waits_for_queued_writes(ssd):
+    write_done = ssd.write(10 * MIB, at=0)
+    flush_done = ssd.flush(at=0)
+    assert flush_done > write_done
+
+
+def test_zero_byte_io_is_free(ssd):
+    assert ssd.write(0, at=5) == 5
+    assert ssd.read(0, at=5) == 5
+    assert ssd.stats.write_ios == 0
+    assert ssd.stats.read_ios == 0
+
+
+def test_negative_io_rejected(ssd):
+    with pytest.raises(ValueError):
+        ssd.write(-1, at=0)
+    with pytest.raises(ValueError):
+        ssd.read(-1, at=0)
+
+
+def test_stats_accumulate(ssd):
+    ssd.write(MIB, at=0)
+    ssd.read(2 * MIB, at=0)
+    ssd.flush(at=0)
+    assert ssd.stats.bytes_written == MIB
+    assert ssd.stats.bytes_read == 2 * MIB
+    assert ssd.stats.write_ios == 1
+    assert ssd.stats.read_ios == 1
+    assert ssd.stats.flushes == 1
+    assert ssd.stats.busy_ns > 0
+
+
+def test_reset_clears_state(ssd):
+    ssd.write(MIB, at=0)
+    ssd.reset()
+    assert ssd.busy_until == 0
+    assert ssd.stats.bytes_written == 0
+
+
+def test_profile_scaling_slows_device():
+    slow = PM883.scaled(2.0)
+    assert slow.write_ns(MIB) > PM883.write_ns(MIB)
+    assert slow.flush_ns == 2 * PM883.flush_ns
+
+
+def test_profile_scaling_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        PM883.scaled(0)
+
+
+def test_hdd_profile_random_much_slower_than_seq():
+    assert SLOW_HDD_LIKE.read_ns(MIB, sequential=False) > (
+        10 * SLOW_HDD_LIKE.read_ns(MIB, sequential=True)
+    )
+
+
+def test_paper_anchor_fig2a_direct_rate():
+    """4 GB written directly should take roughly 8.2 s (paper Fig. 2a)."""
+    ssd = SSD(VirtualClock(), PM883)
+    done = 0
+    two_mib = 2 * MIB
+    for _ in range(2048):  # 4 GB in 2 MB files
+        done = ssd.write(two_mib, at=done)
+    secs = done / 1e9
+    assert 7.0 < secs < 10.0
+
+
+def test_paper_anchor_fig2a_sync_penalty():
+    """Adding a flush per 2 MB file costs roughly 1.9 s over 4 GB."""
+    ssd = SSD(VirtualClock(), PM883)
+    done = 0
+    for _ in range(2048):
+        done = ssd.write(2 * MIB, at=done)
+        done = ssd.flush(at=done)
+    plain = SSD(VirtualClock(), PM883)
+    base = 0
+    for _ in range(2048):
+        base = plain.write(2 * MIB, at=base)
+    extra_secs = (done - base) / 1e9
+    assert 1.0 < extra_secs < 3.5

@@ -1,0 +1,70 @@
+"""Unit tests for the I/O trace recorder."""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.latency import MIB, PM883
+from repro.sim.ssd import SSD
+from repro.sim.trace import IOTrace
+
+
+def test_trace_records_operations():
+    ssd = SSD(VirtualClock(), PM883)
+    trace = IOTrace.attach(ssd)
+    ssd.write(MIB, at=0)
+    ssd.read(2 * MIB, at=0)
+    ssd.flush(at=0)
+    trace.detach()
+    kinds = [e.kind for e in trace.events]
+    assert kinds == ["write", "read", "flush"]
+    totals = trace.totals()
+    assert totals["write_bytes"] == MIB
+    assert totals["read_bytes"] == 2 * MIB
+    assert totals["flush"] == 1
+
+
+def test_trace_detach_stops_recording():
+    ssd = SSD(VirtualClock(), PM883)
+    trace = IOTrace.attach(ssd)
+    ssd.write(MIB, at=0)
+    trace.detach()
+    ssd.write(MIB, at=0)
+    assert len(trace.events) == 1
+
+
+def test_trace_capacity_drops_overflow():
+    ssd = SSD(VirtualClock(), PM883)
+    trace = IOTrace.attach(ssd, capacity=2)
+    for _ in range(5):
+        ssd.write(1024, at=0)
+    assert len(trace.events) == 2
+    assert trace.dropped == 3
+
+
+def test_trace_queued_time():
+    ssd = SSD(VirtualClock(), PM883)
+    trace = IOTrace.attach(ssd)
+    ssd.write(10 * MIB, at=0)
+    ssd.write(1024, at=0)  # queues behind the big write
+    first, second = trace.events
+    assert second.queued_ns > first.completed_at - first.submitted_at - 1
+
+
+def test_trace_works_through_full_stack():
+    from repro.fs.stack import StorageStack
+
+    stack = StorageStack()
+    trace = IOTrace.attach(stack.ssd)
+    handle, t = stack.fs.create("f", at=0)
+    t = handle.append(b"x" * 8192, at=t)
+    t = handle.fsync(at=t)
+    trace.detach()
+    kinds = {e.kind for e in trace.events}
+    assert "write" in kinds
+    assert "flush" in kinds
+
+
+def test_format_timeline():
+    ssd = SSD(VirtualClock(), PM883)
+    trace = IOTrace.attach(ssd)
+    ssd.write(MIB, at=0)
+    text = trace.format_timeline()
+    assert "write" in text
