@@ -8,9 +8,11 @@ Environment knobs:
 
 Each benchmark writes the table/series it regenerated to
 ``results/<name>.txt`` so a full run leaves the paper-comparable output
-on disk.
+on disk; benchmarks that pass a structured payload also leave a
+machine-readable ``results/<name>.json`` next to it.
 """
 
+import json
 import os
 import pathlib
 
@@ -28,9 +30,29 @@ def full_matrix() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
 
-def write_result(name: str, text: str) -> None:
+def write_result(name: str, text: str, payload=None) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if payload is not None:
+        with open(RESULTS_DIR / f"{name}.json", "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def series_payload(figure: str, title: str, x_label: str, series, **extra):
+    """Machine-readable payload for one figure's series-by-store data."""
+    payload = {
+        "schema": "repro.figure/1",
+        "figure": figure,
+        "title": title,
+        "x_label": x_label,
+        "series": {
+            store: {str(x): value for x, value in points.items()}
+            for store, points in series.items()
+        },
+    }
+    payload.update(extra)
+    return payload
 
 
 @pytest.fixture()

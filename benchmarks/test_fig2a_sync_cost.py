@@ -28,7 +28,20 @@ def _render_from(data):
 
 def test_fig2a_sync_cost(benchmark, record_result):
     data = benchmark.pedantic(fig2a, rounds=1, iterations=1)
-    record_result("fig2a_sync_cost", _render_from(data))
+    record_result(
+        "fig2a_sync_cost",
+        _render_from(data),
+        payload={
+            "schema": "repro.figure/1",
+            "figure": "2a",
+            "title": "execution time (s) of Async, Direct and Sync writing",
+            "x_label": "total_bytes",
+            "series": {
+                strategy: {str(size): value for size, value in points.items()}
+                for strategy, points in data.items()
+            },
+        },
+    )
 
     for size in (4 * GIB, 8 * GIB):
         async_s = data["async"][size]

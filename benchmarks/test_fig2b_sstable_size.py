@@ -36,7 +36,17 @@ def test_fig2b_sstable_size_and_syncs(benchmark, record_result):
     data = benchmark.pedantic(
         fig2b, args=(scale,), rounds=1, iterations=1
     )
-    record_result("fig2b_sstable_size", _render_from(data))
+    record_result(
+        "fig2b_sstable_size",
+        _render_from(data),
+        payload={
+            "schema": "repro.figure/1",
+            "figure": "2b",
+            "title": "paper-equivalent execution time (s), Sync vs No-Sync",
+            "scale": scale,
+            "points": {key: round(value, 3) for key, value in data.items()},
+        },
+    )
 
     for workload in ("fillrand", "overwrt"):
         small_sync = data[f"{workload}-2MB-sync"]

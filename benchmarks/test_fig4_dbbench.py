@@ -9,7 +9,7 @@ Paper shapes to reproduce:
   1 KB via cheaper seek compactions).
 """
 
-from conftest import bench_scale, full_matrix, write_result
+from conftest import bench_scale, full_matrix, series_payload, write_result
 
 from repro.baselines.registry import PAPER_STORES
 from repro.bench.figures import fig4
@@ -21,6 +21,17 @@ def _render_from(series, workload, label):
     return series_by_store(
         series, sizes, "value size (B)",
         f"Figure {label}: {workload} time/op (us, virtual)",
+    )
+
+
+def _payload_from(series, workload, label):
+    return series_payload(
+        label,
+        f"{workload} time/op (us, virtual)",
+        "value_size_bytes",
+        series,
+        workload=workload,
+        scale=bench_scale(500.0),
     )
 
 
@@ -45,7 +56,11 @@ def _run(workload):
 
 def test_fig4a_fillrandom(benchmark, record_result):
     series = benchmark.pedantic(_run, args=("fillrandom",), rounds=1, iterations=1)
-    record_result("fig4a_fillrandom", _render_from(series, "fillrandom", "4a"))
+    record_result(
+        "fig4a_fillrandom",
+        _render_from(series, "fillrandom", "4a"),
+        payload=_payload_from(series, "fillrandom", "4a"),
+    )
     for size in _sizes():
         assert series["noblsm"][size] < series["leveldb"][size], (
             f"NobLSM should beat LevelDB on fillrandom at {size}B"
@@ -62,7 +77,11 @@ def test_fig4a_fillrandom(benchmark, record_result):
 
 def test_fig4b_overwrite(benchmark, record_result):
     series = benchmark.pedantic(_run, args=("overwrite",), rounds=1, iterations=1)
-    record_result("fig4b_overwrite", _render_from(series, "overwrite", "4b"))
+    record_result(
+        "fig4b_overwrite",
+        _render_from(series, "overwrite", "4b"),
+        payload=_payload_from(series, "overwrite", "4b"),
+    )
     for size in _sizes():
         assert series["noblsm"][size] < series["leveldb"][size]
     reduction = 1 - series["noblsm"][4096] / series["leveldb"][4096]
@@ -73,7 +92,11 @@ def test_fig4b_overwrite(benchmark, record_result):
 
 def test_fig4c_readseq(benchmark, record_result):
     series = benchmark.pedantic(_run, args=("readseq",), rounds=1, iterations=1)
-    record_result("fig4c_readseq", _render_from(series, "readseq", "4c"))
+    record_result(
+        "fig4c_readseq",
+        _render_from(series, "readseq", "4c"),
+        payload=_payload_from(series, "readseq", "4c"),
+    )
     # readseq is cheap and close across stores (paper: 0-3 us/op)
     for size in _sizes():
         assert series["noblsm"][size] < 4 * series["leveldb"][size]
@@ -83,7 +106,11 @@ def test_fig4c_readseq(benchmark, record_result):
 
 def test_fig4d_readrandom(benchmark, record_result):
     series = benchmark.pedantic(_run, args=("readrandom",), rounds=1, iterations=1)
-    record_result("fig4d_readrandom", _render_from(series, "readrandom", "4d"))
+    record_result(
+        "fig4d_readrandom",
+        _render_from(series, "readrandom", "4d"),
+        payload=_payload_from(series, "readrandom", "4d"),
+    )
     # NobLSM comparable-or-better than LevelDB (paper: -24% at 1KB)
     for size in _sizes():
         assert series["noblsm"][size] <= 1.5 * series["leveldb"][size]

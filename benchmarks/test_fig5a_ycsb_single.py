@@ -6,7 +6,7 @@ Paper: on the write-intensive phases NobLSM is 48.0% (Load-A), 50.1% (A),
 PebblesDB. On read-intensive phases it is comparable or better.
 """
 
-from conftest import bench_scale, full_matrix, write_result
+from conftest import bench_scale, full_matrix, series_payload, write_result
 
 from repro.baselines.registry import PAPER_STORES
 from repro.bench.figures import fig5
@@ -34,6 +34,10 @@ def test_fig5a_ycsb_single_thread(benchmark, record_result):
         "fig5a_ycsb_single",
         series_by_store(series, phases, "workload",
                         "Figure 5a: YCSB time/op (us, virtual), 1 thread"),
+        payload=series_payload(
+            "5a", "YCSB time/op (us, virtual), 1 thread", "workload",
+            series, threads=1, scale=scale,
+        ),
     )
 
     for phase in WRITE_HEAVY:

@@ -7,7 +7,7 @@ is about *half* of LevelDB's — seek compactions without syncs don't
 stall the concurrent readers.
 """
 
-from conftest import bench_scale, full_matrix, write_result
+from conftest import bench_scale, full_matrix, series_payload, write_result
 
 from repro.baselines.registry import PAPER_STORES
 from repro.bench.figures import fig5
@@ -33,6 +33,10 @@ def test_fig5b_ycsb_four_threads(benchmark, record_result):
         "fig5b_ycsb_multi",
         series_by_store(series, phases, "workload",
                         "Figure 5b: YCSB time/op (us, virtual), 4 threads"),
+        payload=series_payload(
+            "5b", "YCSB time/op (us, virtual), 4 threads", "workload",
+            series, threads=4, scale=scale,
+        ),
     )
 
     # write-heavy: NobLSM still beats LevelDB under four threads

@@ -35,7 +35,24 @@ PAPER_TABLE1 = {
 def test_table1_sync_counts(benchmark, record_result):
     scale = bench_scale(500.0)
     data = benchmark.pedantic(table1, kwargs={"scale": scale}, rounds=1, iterations=1)
-    record_result("table1_syncs", render_table1(scale))
+    record_result(
+        "table1_syncs",
+        render_table1(scale),
+        payload={
+            "schema": "repro.figure/1",
+            "figure": "table1",
+            "title": "number of syncs and paper-equivalent GB synced",
+            "scale": scale,
+            "stores": {
+                store: {"syncs": syncs, "gb_equiv": round(gb, 3)}
+                for store, (syncs, gb) in data.items()
+            },
+            "paper": {
+                store: {"syncs": syncs, "gb": gb}
+                for store, (syncs, gb) in PAPER_TABLE1.items()
+            },
+        },
+    )
 
     ldb_syncs, ldb_gb = data["leveldb"]
     nob_syncs, nob_gb = data["noblsm"]

@@ -15,8 +15,10 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.bench import figures
 
@@ -81,6 +83,52 @@ def _render(
     raise ValueError(f"unknown target {target!r}")
 
 
+def _payload(
+    target: str,
+    scale: Optional[float],
+    stores: Optional[List[str]],
+) -> Dict[str, object]:
+    """Machine-readable data for one target (recomputes the figure)."""
+    kwargs = {}
+    if stores:
+        kwargs["stores"] = stores
+
+    def series_doc(series, x_label):
+        return {
+            x_label: {
+                store: {str(x): v for x, v in points.items()}
+                for store, points in series.items()
+            }
+        }
+
+    doc: Dict[str, object] = {"schema": "repro.figure/1", "figure": target}
+    if target == "fig2a":
+        doc.update(series_doc(figures.fig2a(), "series"))
+    elif target == "fig2b":
+        data = figures.fig2b(scale or figures.DEFAULT_SCALE)
+        doc["points"] = {k: round(v, 3) for k, v in data.items()}
+    elif target in _FIG4:
+        series = figures.fig4(
+            _FIG4[target], scale=scale or figures.DEFAULT_SCALE, **kwargs
+        )
+        doc["workload"] = _FIG4[target]
+        doc.update(series_doc(series, "series"))
+    elif target == "table1":
+        data = figures.table1(scale=scale or figures.DEFAULT_SCALE, **kwargs)
+        doc["stores"] = {
+            store: {"syncs": syncs, "gb_equiv": round(gb, 3)}
+            for store, (syncs, gb) in data.items()
+        }
+    elif target in ("fig5a", "fig5b"):
+        threads = 1 if target == "fig5a" else 4
+        series = figures.fig5(threads, scale=scale or 2000.0, **kwargs)
+        doc["threads"] = threads
+        doc.update(series_doc(series, "series"))
+    else:
+        raise ValueError(f"unknown target {target!r}")
+    return doc
+
+
 ALL_TARGETS = ["fig2a", "fig2b", "fig4a", "fig4b", "fig4c", "fig4d",
                "table1", "fig5a", "fig5b"]
 
@@ -108,12 +156,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="render an ASCII chart instead of a table (fig4*/fig5*)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write <DIR>/<target>.json machine-readable payloads "
+             "(reruns each target)",
+    )
     args = parser.parse_args(argv)
     stores = args.stores.split(",") if args.stores else None
     targets = ALL_TARGETS if args.target == "all" else [args.target]
     for target in targets:
         print(_render(target, args.scale, stores, chart=args.chart))
         print()
+        if args.json:
+            os.makedirs(args.json, exist_ok=True)
+            path = os.path.join(args.json, f"{target}.json")
+            with open(path, "w") as fh:
+                json.dump(
+                    _payload(target, args.scale, stores),
+                    fh, indent=2, sort_keys=True,
+                )
+                fh.write("\n")
+            print(f"wrote {path}\n")
     return 0
 
 

@@ -66,6 +66,7 @@ def run_overwrite(
     t = db.wait_for_background(t)
     stack.sync_stats.reset()
     stack.ssd.stats.reset()
+    stack.obs.reset()
     db.stats.stall_ns = 0
     start = t
     end = _fill(db, config, seed_offset=1, at=start)
@@ -192,6 +193,7 @@ def run_deleterandom(
     t = db.wait_for_background(t)
     stack.sync_stats.reset()
     stack.ssd.stats.reset()
+    stack.obs.reset()
     start = t
     for index in readrandom_indices(config.num_ops, config.num_ops, config.seed + 17):
         t = db.delete(make_key(index, config.key_size), at=t)

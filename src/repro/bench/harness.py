@@ -13,13 +13,15 @@ point runs in seconds of host time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.baselines.registry import make_store
 from repro.fs.jbd2 import JournalConfig
 from repro.fs.stack import StackConfig, StorageStack
 from repro.lsm.db import DB
 from repro.lsm.options import MIB, Options
+from repro.obs.export import layer_breakdown, registry_document
+from repro.obs.metrics import MetricRegistry
 from repro.sim.clock import seconds, to_micros, to_seconds
 from repro.sim.latency import GIB, PM883
 
@@ -41,6 +43,7 @@ class ScaledConfig:
     pagecache_gb: float = 16.0  # paper host: 2 TB DRAM; scaled below
     threads: int = 1
     seed: int = 1234
+    observe: bool = False  # wire a MetricRegistry through the stack
 
     def __post_init__(self) -> None:
         if self.scale < 1:
@@ -85,6 +88,7 @@ class ScaledConfig:
                 ),
                 writeback_chunk_bytes=max(int(16 * MIB / self.scale), 16 * 1024),
                 journal=journal,
+                obs=MetricRegistry() if self.observe else None,
             )
         )
 
@@ -111,6 +115,15 @@ class BenchResult:
     minor_compactions: int
     major_compactions: int
     extras: Dict[str, float] = field(default_factory=dict)
+    #: per-op latency percentiles in microseconds, e.g.
+    #: ``{"put": {"p50": 1.2, "p95": 3.4, "p99": 8.9}}`` — only filled
+    #: when the run's :class:`ScaledConfig` had ``observe=True``.
+    latency_us: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: virtual time attributed per layer (device/journal/compaction/
+    #: stalls); empty unless observed.
+    breakdown_ns: Dict[str, int] = field(default_factory=dict)
+    #: full ``repro.obs/1`` export document; ``None`` unless observed.
+    obs_document: "Optional[Dict[str, object]]" = None
 
     @property
     def us_per_op(self) -> float:
@@ -138,6 +151,30 @@ class BenchResult:
             "gib_synced": round(self.gib_synced, 4),
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Full machine-readable record (superset of :meth:`row`)."""
+        data: Dict[str, object] = dict(self.row())
+        data.update(
+            {
+                "virtual_ns": self.virtual_ns,
+                "bytes_synced": self.bytes_synced,
+                "device_bytes_written": self.device_bytes_written,
+                "device_bytes_read": self.device_bytes_read,
+                "stall_ns": self.stall_ns,
+                "minor_compactions": self.minor_compactions,
+                "major_compactions": self.major_compactions,
+            }
+        )
+        if self.extras:
+            data["extras"] = dict(self.extras)
+        if self.latency_us:
+            data["latency_us"] = {
+                op: dict(ps) for op, ps in self.latency_us.items()
+            }
+        if self.breakdown_ns:
+            data["breakdown_ns"] = dict(self.breakdown_ns)
+        return data
+
 
 def collect_result(
     store_name: str,
@@ -149,7 +186,7 @@ def collect_result(
     end_ns: int,
     num_ops: int,
 ) -> BenchResult:
-    return BenchResult(
+    result = BenchResult(
         store=store_name,
         workload=workload,
         num_ops=num_ops,
@@ -163,6 +200,42 @@ def collect_result(
         minor_compactions=db.stats.minor_compactions,
         major_compactions=db.stats.major_compactions,
     )
+    obs = stack.obs
+    if obs.enabled:
+        result.breakdown_ns = layer_breakdown(obs)
+        result.latency_us = latency_percentiles(obs)
+        result.obs_document = registry_document(
+            obs,
+            meta={
+                "store": store_name,
+                "workload": workload,
+                "num_ops": num_ops,
+                "value_size": config.value_size,
+                "scale": config.scale,
+            },
+        )
+    return result
+
+
+#: operation histograms surfaced as benchmark percentile columns
+_LATENCY_OPS = ("put", "get", "delete", "scan")
+
+
+def latency_percentiles(obs) -> Dict[str, Dict[str, float]]:
+    """Per-op p50/p95/p99 in microseconds from ``db.<op>_ns`` histograms."""
+    out: Dict[str, Dict[str, float]] = {}
+    for op in _LATENCY_OPS:
+        hist = obs.find_histogram(f"db.{op}_ns")
+        if hist is None or hist.count == 0:
+            continue
+        out[op] = {
+            "p50": round(hist.p50 / 1000.0, 3),
+            "p95": round(hist.p95 / 1000.0, 3),
+            "p99": round(hist.p99 / 1000.0, 3),
+            "mean": round(hist.mean / 1000.0, 3),
+            "count": hist.count,
+        }
+    return out
 
 
 class ThreadedDriver:

@@ -1,8 +1,22 @@
-"""Plain-text rendering of benchmark results (the paper's rows/series)."""
+"""Rendering and export of benchmark results.
+
+Two consumers, two formats:
+
+- plain-text tables (``format_table`` / ``series_by_store`` /
+  ``format_latency_table`` / ``format_breakdown_table``) for humans;
+- a versioned JSON document (``results_document`` /
+  ``write_results_json``, schema ``repro.bench/1``) so runs can be
+  diffed and plotted by machines. Observed runs additionally carry
+  per-op latency percentiles and the per-layer time breakdown.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+RESULTS_SCHEMA = "repro.bench/1"
 
 
 def format_table(
@@ -48,3 +62,89 @@ def series_by_store(
     for store, series in results.items():
         rows.append([store] + [round(series.get(x, float("nan")), 3) for x in x_values])
     return format_table(title, header, rows)
+
+
+def format_latency_table(results: Sequence[object], title: str = "latency (us)") -> str:
+    """Percentile columns for observed runs (one row per store/op).
+
+    ``results`` are :class:`~repro.bench.harness.BenchResult` objects;
+    rows come from their ``latency_us`` field, so unobserved runs simply
+    contribute nothing.
+    """
+    header = ["store", "workload", "op", "p50", "p95", "p99", "mean"]
+    rows: List[Sequence[object]] = []
+    for result in results:
+        for op, ps in sorted(getattr(result, "latency_us", {}).items()):
+            rows.append(
+                [
+                    result.store,
+                    result.workload,
+                    op,
+                    ps.get("p50", 0.0),
+                    ps.get("p95", 0.0),
+                    ps.get("p99", 0.0),
+                    ps.get("mean", 0.0),
+                ]
+            )
+    if not rows:
+        return f"{title}\n(no observed runs — pass observe=True)"
+    return format_table(title, header, rows)
+
+
+def format_breakdown_table(
+    results: Sequence[object], title: str = "virtual-time breakdown (ms)"
+) -> str:
+    """Per-layer virtual-time table for observed runs.
+
+    Layers overlap (a compaction span contains its device time), so the
+    columns answer "how busy was each layer", not "a partition of the
+    run" — ``total`` is the run's virtual time for reference.
+    """
+    header = ["store", "workload", "total", "device", "journal", "compaction", "stalls"]
+    rows: List[Sequence[object]] = []
+    for result in results:
+        breakdown = getattr(result, "breakdown_ns", {})
+        if not breakdown:
+            continue
+        rows.append(
+            [
+                result.store,
+                result.workload,
+                round(result.virtual_ns / 1e6, 3),
+            ]
+            + [
+                round(breakdown.get(layer, 0) / 1e6, 3)
+                for layer in ("device", "journal", "compaction", "stalls")
+            ]
+        )
+    if not rows:
+        return f"{title}\n(no observed runs — pass observe=True)"
+    return format_table(title, header, rows)
+
+
+def results_document(
+    results: Sequence[object],
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Versioned machine-readable document for a list of BenchResults."""
+    return {
+        "schema": RESULTS_SCHEMA,
+        "meta": dict(meta) if meta else {},
+        "results": [r.to_dict() for r in results],
+    }
+
+
+def write_results_json(
+    path: str,
+    results: Sequence[object],
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Write ``results_document`` to ``path``; returns the document."""
+    doc = results_document(results, meta)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.fs.jbd2 import Journal, NsOp, NsOpKind, Transaction
 from repro.fs.pagecache import PageCache
+from repro.obs.metrics import MetricRegistry, NULL_REGISTRY
 from repro.sim.events import EventQueue
 from repro.sim.latency import CpuProfile, DEFAULT_CPU
 from repro.sim.ssd import SSD
@@ -223,6 +224,7 @@ class Ext4:
         writeback_interval_ns: int = DEFAULT_WRITEBACK_INTERVAL,
         writeback_chunk_bytes: int = DEFAULT_WRITEBACK_CHUNK,
         hard_dirty_ratio: float = 0.25,
+        obs: Optional[MetricRegistry] = None,
     ) -> None:
         self.events = events
         self.clock = events.clock
@@ -231,6 +233,15 @@ class Ext4:
         self.pagecache = pagecache
         self.cpu = cpu
         self.sync_stats = sync_stats if sync_stats is not None else SyncStats()
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self._observe = self.obs.enabled
+        if self._observe:
+            self.obs.register_source("sync", self.sync_stats.snapshot)
+            self.obs.register_source("pagecache", self.pagecache.snapshot)
+            self.obs.register_source("fs", self.snapshot)
+            self._fsync_hist = self.obs.histogram("fs.fsync_ns")
+            self._writeback_bytes = self.obs.counter("fs.writeback_bytes")
+            self._throttle_counter = self.obs.counter("fs.throttle_ns")
         self.writeback_interval_ns = max(int(writeback_interval_ns), 1)
         self.writeback_chunk_bytes = max(int(writeback_chunk_bytes), 4096)
         self.hard_dirty_ratio = hard_dirty_ratio
@@ -374,6 +385,8 @@ class Ext4:
             # drains the backlog (it becomes device-bound).
             drained = self.writeback_all(at)
             self.throttle_ns += max(drained - at, 0)
+            if self._observe:
+                self._throttle_counter.inc(max(drained - at, 0))
             return drained
         return at
 
@@ -438,6 +451,8 @@ class Ext4:
         if delta > 0:
             t = self.device.write(delta, t, sequential=True)
             inode.durable_len += delta
+            if self._observe:
+                self._writeback_bytes.inc(delta)
         self.pagecache.clean_inode(ino, inode.durable_len)
         if inode.dirty_bytes == 0:
             self._delalloc.discard(ino)
@@ -535,7 +550,19 @@ class Ext4:
             inode.committed_size = inode.durable_len
             inode.ever_committed = True
         self.events.run_until(t)
+        if self._observe:
+            self._fsync_hist.record(t - at)
         return t
+
+    def snapshot(self) -> Dict[str, object]:
+        """Unified stats view (see :mod:`repro.sim.stats` contract)."""
+        return {
+            "files": len(self._namespace),
+            "delalloc_inodes": len(self._delalloc),
+            "flusher_runs": self.flusher_runs,
+            "throttle_ns": self.throttle_ns,
+            "crashes": self.crashes,
+        }
 
     # ------------------------------------------------------------------
     # crash

@@ -26,6 +26,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.obs.metrics import MetricRegistry, NULL_REGISTRY
 from repro.sim.clock import seconds
 from repro.sim.events import EventQueue
 from repro.sim.ssd import SSD
@@ -104,11 +105,16 @@ class Journal:
         events: EventQueue,
         device: SSD,
         config: Optional[JournalConfig] = None,
+        obs: Optional[MetricRegistry] = None,
     ) -> None:
         self.events = events
         self.clock = events.clock
         self.device = device
         self.config = config if config is not None else JournalConfig()
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self._observe = self.obs.enabled
+        if self._observe:
+            self.obs.register_source("journal", self.snapshot)
         self.datasource = None  # set by Ext4.attach
         self._tids = itertools.count(1)
         self._running: Optional[Transaction] = None
@@ -201,7 +207,9 @@ class Journal:
         dir_blocks = (len(txn.ns_ops) + 31) // 32
         return (2 + metadata_blocks + dir_blocks) * self.config.block_size
 
-    def _perform_commit(self, txn: Transaction, at: int) -> int:
+    def _perform_commit(
+        self, txn: Transaction, at: int, forced: bool = False
+    ) -> int:
         """Run the commit for ``txn``; returns completion time.
 
         Member inodes' data is already on the device (delayed allocation
@@ -212,13 +220,22 @@ class Journal:
         txn.state = TxnState.COMMITTING
         txn.commit_started_at = at
         start = max(at, self._last_commit_done)
-        t = self.device.write(
-            self._journal_write_bytes(txn), start, sequential=True
+        journal_bytes = self._journal_write_bytes(txn)
+        span = self.obs.start_span(
+            "journal.commit",
+            at,
+            tid=txn.tid,
+            inodes=len(txn.inodes),
+            ns_ops=len(txn.ns_ops),
+            journal_bytes=journal_bytes,
+            forced=forced,
         )
+        t = self.device.write(journal_bytes, start, sequential=True)
         t = self.device.flush(t)
         txn.commit_done_at = t
         self._last_commit_done = t
         self.commits += 1
+        span.end(t)
         return t
 
     def _finalize(self, txn: Transaction, when: int) -> None:
@@ -259,7 +276,7 @@ class Journal:
             return at
         self._running = None
         older = self._committing
-        done = self._perform_commit(txn, at)
+        done = self._perform_commit(txn, at, forced=True)
         if older is not None:
             # Apply the older in-flight commit first so durable state is
             # always applied in tid order (its pending event becomes a no-op).
@@ -280,6 +297,16 @@ class Journal:
         if txn.state is TxnState.RUNNING:
             return self.commit_sync(at)
         return max(at, txn.commit_done_at)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Unified stats view (see :mod:`repro.sim.stats` contract)."""
+        return {
+            "commits": self.commits,
+            "forced_commits": self.forced_commits,
+            "committed_tids": len(self.committed_tids),
+            "running": self._running is not None and not self._running.empty,
+            "committing": self._committing is not None,
+        }
 
     # ------------------------------------------------------------------
     # crash support

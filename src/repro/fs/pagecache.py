@@ -63,6 +63,16 @@ class PageCache:
     def dirty_threshold_bytes(self) -> int:
         return int(self.capacity_bytes * self.dirty_ratio)
 
+    def snapshot(self) -> "dict[str, object]":
+        """Unified stats view (see :mod:`repro.sim.stats` contract)."""
+        return {
+            "resident_bytes": self.resident_bytes,
+            "dirty_bytes": self._dirty_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
     def _page_range(self, offset: int, nbytes: int) -> range:
         if nbytes <= 0:
             return range(0)

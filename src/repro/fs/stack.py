@@ -9,6 +9,7 @@ from repro.fs.ext4 import Ext4
 from repro.fs.jbd2 import Journal, JournalConfig
 from repro.fs.pagecache import PageCache
 from repro.fs.syscalls import NobSyscalls
+from repro.obs.metrics import MetricRegistry, NULL_REGISTRY
 from repro.sim.clock import VirtualClock
 from repro.sim.events import EventQueue
 from repro.sim.latency import (
@@ -24,7 +25,12 @@ from repro.sim.stats import SyncStats
 
 @dataclass
 class StackConfig:
-    """Knobs for building a :class:`StorageStack`."""
+    """Knobs for building a :class:`StorageStack`.
+
+    ``obs`` injects a :class:`~repro.obs.metrics.MetricRegistry` into
+    every layer of the stack; ``None`` (the default) means the shared
+    no-op registry — recording disabled, zero cost.
+    """
 
     device: DeviceProfile = PM883
     cpu: CpuProfile = DEFAULT_CPU
@@ -34,25 +40,32 @@ class StackConfig:
     writeback_interval_ns: int = Ext4.DEFAULT_WRITEBACK_INTERVAL
     writeback_chunk_bytes: int = Ext4.DEFAULT_WRITEBACK_CHUNK
     journal: JournalConfig = field(default_factory=JournalConfig)
+    obs: Optional[MetricRegistry] = None
 
 
 class StorageStack:
     """Clock + events + SSD + page cache + journal + Ext4 + syscalls.
 
     The canonical substrate every store and benchmark runs on. One stack
-    models one machine: a single SSD, a single file system, one journal.
+    models one machine: a single SSD, a single file system, one journal —
+    and one metric registry (``stack.obs``) the whole stack reports into.
     """
 
     def __init__(self, config: Optional[StackConfig] = None) -> None:
         self.config = config if config is not None else StackConfig()
+        self.obs = (
+            self.config.obs if self.config.obs is not None else NULL_REGISTRY
+        )
         self.clock = VirtualClock()
         self.events = EventQueue(self.clock)
-        self.ssd = SSD(self.clock, self.config.device)
+        self.ssd = SSD(self.clock, self.config.device, obs=self.obs)
         self.sync_stats = SyncStats()
         self.pagecache = PageCache(
             self.config.pagecache_bytes, self.config.dirty_ratio
         )
-        self.journal = Journal(self.events, self.ssd, self.config.journal)
+        self.journal = Journal(
+            self.events, self.ssd, self.config.journal, obs=self.obs
+        )
         self.fs = Ext4(
             self.events,
             self.ssd,
@@ -63,6 +76,7 @@ class StorageStack:
             writeback_interval_ns=self.config.writeback_interval_ns,
             writeback_chunk_bytes=self.config.writeback_chunk_bytes,
             hard_dirty_ratio=self.config.hard_dirty_ratio,
+            obs=self.obs,
         )
         self.syscalls = NobSyscalls(self.fs)
 

@@ -33,6 +33,12 @@ class NobSyscalls:
         self.committed: Set[int] = set()
         self.check_commit_calls = 0
         self.is_committed_calls = 0
+        self.obs = fs.obs
+        self._observe = self.obs.enabled
+        if self._observe:
+            self.obs.register_source("syscalls", self.snapshot)
+            self._check_commit_counter = self.obs.counter("syscalls.check_commit")
+            self._is_committed_counter = self.obs.counter("syscalls.is_committed")
         fs.nob_syscalls = self
         fs.journal.on_commit.append(self._on_journal_commit)
 
@@ -67,6 +73,15 @@ class NobSyscalls:
         self.pending.clear()
         self.committed.clear()
 
+    def snapshot(self) -> "dict[str, object]":
+        """Unified stats view (see :mod:`repro.sim.stats` contract)."""
+        return {
+            "check_commit_calls": self.check_commit_calls,
+            "is_committed_calls": self.is_committed_calls,
+            "pending": len(self.pending),
+            "committed": len(self.committed),
+        }
+
     # ------------------------------------------------------------------
     # the two syscalls
     # ------------------------------------------------------------------
@@ -80,6 +95,8 @@ class NobSyscalls:
         goes straight to Committed.
         """
         self.check_commit_calls += 1
+        if self._observe:
+            self._check_commit_counter.inc()
         for ino in inos:
             inode = self.fs._inodes.get(ino)
             dirty = inode is not None and inode.dirty_bytes > 0
@@ -95,5 +112,7 @@ class NobSyscalls:
     def is_committed(self, ino: int, at: int) -> "tuple[bool, int]":
         """Syscall 2: has the inode moved to the Committed table?"""
         self.is_committed_calls += 1
+        if self._observe:
+            self._is_committed_counter.inc()
         self.fs.events.run_until(max(at, self.fs.clock.now))
         return ino in self.committed, at + self.fs.cpu.syscall_ns

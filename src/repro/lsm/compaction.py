@@ -58,6 +58,17 @@ class Compaction:
             edit.delete_file(self.output_level, meta.number)
         return edit
 
+    def span_attrs(self) -> "dict[str, object]":
+        """Structured attributes for this compaction's observability span."""
+        return {
+            "level": self.level,
+            "output_level": self.output_level,
+            "inputs": len(self.inputs),
+            "overlaps": len(self.overlaps),
+            "input_bytes": self.input_bytes,
+            "seek": self.is_seek,
+        }
+
 
 def _range_of(files: List[FileMetaData]) -> "tuple[Optional[bytes], Optional[bytes]]":
     if not files:

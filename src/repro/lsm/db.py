@@ -107,7 +107,13 @@ class Snapshot:
 
 @dataclass
 class DBStats:
-    """Store-level counters for the evaluation harness."""
+    """Store-level counters for the evaluation harness.
+
+    ``stall_ns`` is the total write-stall time; it is attributed into
+    ``stall_memtable_ns`` (writer waiting for the sealed memtable's
+    dump) and ``stall_l0_stop_ns`` (the L0 stop trigger). The 1 ms L0
+    slowdown is tracked separately in ``slowdown_ns``.
+    """
 
     puts: int = 0
     gets: int = 0
@@ -118,6 +124,8 @@ class DBStats:
     trivial_moves: int = 0
     seek_compactions: int = 0
     stall_ns: int = 0
+    stall_memtable_ns: int = 0
+    stall_l0_stop_ns: int = 0
     slowdown_ns: int = 0
     bytes_flushed: int = 0
     bytes_compacted_in: int = 0
@@ -125,6 +133,35 @@ class DBStats:
     wal_records: int = 0
     recovered_records: int = 0
     extras: Dict[str, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        extras = self.extras
+        self.__init__()
+        extras.clear()
+        self.extras = extras
+
+    def snapshot(self) -> Dict[str, object]:
+        """Unified stats view (see :mod:`repro.sim.stats` contract)."""
+        return {
+            "puts": self.puts,
+            "gets": self.gets,
+            "deletes": self.deletes,
+            "scans": self.scans,
+            "minor_compactions": self.minor_compactions,
+            "major_compactions": self.major_compactions,
+            "trivial_moves": self.trivial_moves,
+            "seek_compactions": self.seek_compactions,
+            "stall_ns": self.stall_ns,
+            "stall_memtable_ns": self.stall_memtable_ns,
+            "stall_l0_stop_ns": self.stall_l0_stop_ns,
+            "slowdown_ns": self.slowdown_ns,
+            "bytes_flushed": self.bytes_flushed,
+            "bytes_compacted_in": self.bytes_compacted_in,
+            "bytes_compacted_out": self.bytes_compacted_out,
+            "wal_records": self.wal_records,
+            "recovered_records": self.recovered_records,
+            "extras": dict(self.extras),
+        }
 
 
 class DB:
@@ -147,6 +184,17 @@ class DB:
         self.options = options if options is not None else Options()
         self.options.validate()
         self.stats = DBStats()
+        self.obs = stack.obs
+        self._observe = self.obs.enabled
+        self._wal_bytes_total = 0
+        self._wal_records_total = 0
+        if self._observe:
+            self.obs.register_source(f"db.{dbname}", self._obs_snapshot)
+            self._put_hist = self.obs.histogram("db.put_ns")
+            self._get_hist = self.obs.histogram("db.get_ns")
+            self._stall_slowdown = self.obs.counter("db.stall.l0_slowdown_ns")
+            self._stall_memtable = self.obs.counter("db.stall.memtable_wait_ns")
+            self._stall_l0_stop = self.obs.counter("db.stall.l0_stop_ns")
         self.table_cache = TableCache(
             self.fs, dbname, block_cache_bytes=self.options.block_cache_bytes
         )
@@ -210,9 +258,23 @@ class DB:
     def _new_wal(self, at: int) -> int:
         number = self.versions.new_file_number()
         handle, t = self.fs.create(log_file_name(self.dbname, number), at=at)
+        if self._wal is not None:
+            self._wal_records_total += self._wal.records_written
+            self._wal_bytes_total += self._wal.bytes_written
         self._wal = LogWriter(handle)
         self._wal_number = number
         return t
+
+    def _obs_snapshot(self) -> Dict[str, object]:
+        """Registry source: store counters plus aggregated WAL volume."""
+        doc = self.stats.snapshot()
+        records = self._wal_records_total
+        nbytes = self._wal_bytes_total
+        if self._wal is not None:
+            records += self._wal.records_written
+            nbytes += self._wal.bytes_written
+        doc["wal"] = {"records_written": records, "bytes_written": nbytes}
+        return doc
 
     def _replay_logs(self, at: int) -> int:
         """Rebuild the memtable from logs newer than the version's log."""
@@ -379,11 +441,17 @@ class DB:
 
     def put(self, key: bytes, value: bytes, at: int) -> int:
         self.stats.puts += 1
-        return self.write([(TYPE_VALUE, key, value)], at)
+        done = self.write([(TYPE_VALUE, key, value)], at)
+        if self._observe:
+            self._put_hist.record(done - at)
+        return done
 
     def delete(self, key: bytes, at: int) -> int:
         self.stats.deletes += 1
-        return self.write([(TYPE_DELETION, key, b"")], at)
+        done = self.write([(TYPE_DELETION, key, b"")], at)
+        if self._observe:
+            self.obs.histogram("db.delete_ns").record(done - at)
+        return done
 
     def apply(self, batch, at: int) -> int:
         """Apply a :class:`~repro.lsm.write_batch.WriteBatch` atomically."""
@@ -424,6 +492,8 @@ class DB:
             ):
                 t += MILLISECOND
                 self.stats.slowdown_ns += MILLISECOND
+                if self._observe:
+                    self._stall_slowdown.inc(MILLISECOND)
                 allow_delay = False
                 self._advance_background(t)
                 continue
@@ -442,11 +512,17 @@ class DB:
                         break
                     resumed = max(resumed, done)
                 self.stats.stall_ns += resumed - t
+                self.stats.stall_memtable_ns += resumed - t
+                if self._observe:
+                    self._stall_memtable.inc(resumed - t)
                 t = resumed
                 continue
             if l0_count >= self.options.l0_stop_writes_trigger:
                 resumed = self._wait_for_l0_drain(t)
                 self.stats.stall_ns += resumed - t
+                self.stats.stall_l0_stop_ns += resumed - t
+                if self._observe:
+                    self._stall_l0_stop.inc(resumed - t)
                 t = resumed
                 continue
             t = self._switch_memtable(t)
@@ -501,6 +577,11 @@ class DB:
         if imm.empty:
             return at
         self.stats.minor_compactions += 1
+        span = self.obs.start_span(
+            "db.compaction.minor",
+            at,
+            input_bytes=imm.approximate_memory_usage,
+        )
         number = self.versions.new_file_number()
         path = table_file_name(self.dbname, number)
         builder = TableBuilder(self.fs, path, self.options, at, number=number)
@@ -529,6 +610,10 @@ class DB:
         edit = VersionEdit(log_number=self._wal_number)
         edit.add_file(level, meta)
         t = self.versions.log_and_apply(edit, t)
+        span.annotate(
+            table=number, level=level, output_bytes=size, entries=count
+        )
+        span.end(t)
         return t
 
     def _persist_minor_output(self, meta: FileMetaData, at: int) -> int:
@@ -546,6 +631,9 @@ class DB:
         self.stats.major_compactions += 1
         if compaction.is_seek:
             self.stats.seek_compactions += 1
+        span = self.obs.start_span(
+            "db.compaction.major", at, **compaction.span_attrs()
+        )
         t = at
         entries: List[Tuple[bytes, bytes]] = []
         for meta in compaction.all_inputs:
@@ -602,6 +690,14 @@ class DB:
             )
         t = self.versions.log_and_apply(edit, t)
         t = self._dispose_inputs(compaction, outputs, t)
+        span.annotate(
+            output_bytes=sum(m.file_size for m in outputs),
+            outputs=len(outputs),
+            shadow_retained=sum(
+                1 for m in compaction.all_inputs if m.shadow
+            ),
+        )
+        span.end(t)
         return t
 
     def _finish_output(
@@ -691,6 +787,17 @@ class DB:
         With a ``snapshot``, the lookup sees the newest version at or
         below the snapshot's sequence number.
         """
+        value, t = self._get_inner(key, at, snapshot)
+        if self._observe:
+            self._get_hist.record(t - at)
+        return value, t
+
+    def _get_inner(
+        self,
+        key: bytes,
+        at: int,
+        snapshot: Optional[Snapshot] = None,
+    ) -> Tuple[Optional[bytes], int]:
         if self.closed:
             raise RuntimeError("DB is closed")
         self.stats.gets += 1
@@ -794,7 +901,10 @@ class DB:
         while iterator.valid and len(results) < count:
             results.append((iterator.key, iterator.value))
             iterator.next()
-        return results, max(iterator.time, at)
+        done = max(iterator.time, at)
+        if self._observe:
+            self.obs.histogram("db.scan_ns").record(done - at)
+        return results, done
 
     # ------------------------------------------------------------------
     # lifecycle

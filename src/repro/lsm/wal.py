@@ -80,14 +80,29 @@ def decode_batch(payload: bytes) -> Tuple[int, List[BatchEntry]]:
 
 
 class LogWriter:
-    """Appends batch records to a log file."""
+    """Appends batch records to a log file.
+
+    ``records_written``/``bytes_written`` follow the unified stats
+    contract (see :mod:`repro.sim.stats`): the store aggregates them
+    across WAL switches and surfaces them through its snapshot source.
+    """
 
     def __init__(self, handle: File) -> None:
         self.handle = handle
+        self.records_written = 0
+        self.bytes_written = 0
 
     def add_record(self, sequence: int, entries: List[BatchEntry], at: int) -> int:
         record = encode_batch(sequence, entries)
+        self.records_written += 1
+        self.bytes_written += len(record)
         return self.handle.append(record, at=at)
+
+    def snapshot(self) -> "dict[str, object]":
+        return {
+            "records_written": self.records_written,
+            "bytes_written": self.bytes_written,
+        }
 
 
 class LogReader:

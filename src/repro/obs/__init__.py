@@ -1,0 +1,51 @@
+"""Unified observability: metrics, virtual-time spans, tracing, export.
+
+One :class:`MetricRegistry` per simulated machine is the sink for every
+layer's accounting — device I/O and queueing, page-cache writeback,
+journal commits, syscall traffic, compactions, per-op latency and stall
+attribution. The default is :data:`NULL_REGISTRY` (recording disabled,
+zero cost); pass a real registry via
+``StackConfig(obs=MetricRegistry())`` or ``ScaledConfig(observe=True)``
+to turn everything on.
+
+See ``docs/ARCHITECTURE.md`` ("Observability") and
+``examples/observability.py`` for walkthroughs.
+"""
+
+from repro.obs.events import IOEvent, IOLog
+from repro.obs.export import (
+    SCHEMA,
+    layer_breakdown,
+    registry_document,
+    to_json,
+    write_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.spans import NULL_SPAN, Span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "IOEvent",
+    "IOLog",
+    "MetricRegistry",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NullRegistry",
+    "SCHEMA",
+    "Span",
+    "layer_breakdown",
+    "registry_document",
+    "to_json",
+    "write_json",
+]

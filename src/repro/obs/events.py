@@ -1,0 +1,84 @@
+"""Device I/O event log — the storage core behind I/O tracing.
+
+An :class:`IOLog` is a bounded in-memory record of device operations
+(reads, writes, flushes) with their virtual submission and completion
+times. It holds the storage and summary logic that used to live inside
+``repro.sim.trace.IOTrace``; the trace class is now a thin attach/detach
+adapter over this log, and a :class:`~repro.obs.metrics.MetricRegistry`
+can own one directly (see ``MetricRegistry.trace_io``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One device operation."""
+
+    kind: str  # 'read' | 'write' | 'flush'
+    nbytes: int
+    submitted_at: int
+    completed_at: int
+    sequential: bool
+
+    @property
+    def queued_ns(self) -> int:
+        """Time spent waiting behind earlier I/O."""
+        return max(self.completed_at - self.submitted_at, 0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "nbytes": self.nbytes,
+            "submitted_at": self.submitted_at,
+            "completed_at": self.completed_at,
+            "sequential": self.sequential,
+        }
+
+
+class IOLog:
+    """Bounded list of :class:`IOEvent` with totals and a timeline view."""
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.events: List[IOEvent] = []
+        self.dropped = 0
+
+    def record(
+        self, kind: str, nbytes: int, at: int, done: int, sequential: bool
+    ) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(IOEvent(kind, nbytes, int(at), int(done), sequential))
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def totals(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+            out[f"{event.kind}_bytes"] = (
+                out.get(f"{event.kind}_bytes", 0) + event.nbytes
+            )
+        return out
+
+    def format_timeline(self, limit: int = 50) -> str:
+        """First ``limit`` events as a readable timeline (debugging aid)."""
+        lines = ["      t(us)   done(us)  op     bytes"]
+        for event in self.events[:limit]:
+            lines.append(
+                f"{event.submitted_at / 1000:11.1f} "
+                f"{event.completed_at / 1000:10.1f}  "
+                f"{event.kind:5s} {event.nbytes:>9d}"
+            )
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

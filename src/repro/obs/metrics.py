@@ -1,0 +1,406 @@
+"""The metric registry: counters, gauges, fixed-bucket histograms, spans.
+
+One :class:`MetricRegistry` is the sink for everything a simulated
+machine observes about itself. Components grab their instruments once
+(``registry.counter("device.queue_ns")``) and record into them on the
+hot path; instruments are cached by name so every layer referring to the
+same name shares the same cell.
+
+Recording must be **zero-cost when disabled**: the default registry on a
+:class:`~repro.fs.stack.StorageStack` is :data:`NULL_REGISTRY`, whose
+instruments are shared no-op singletons and whose ``enabled`` flag lets
+hot paths skip recording blocks entirely. Benchmark numbers are
+therefore unaffected unless observability is explicitly requested — and
+because recording never touches the virtual clock, enabling it changes
+*no* simulated timing, only host-side cost.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import IOLog
+from repro.obs.spans import NULL_SPAN, Span
+
+
+def default_latency_buckets() -> Tuple[int, ...]:
+    """1-2-5 log-spaced upper bounds from 1 us to 50 s (virtual ns)."""
+    bounds: List[int] = []
+    for exp in range(3, 11):
+        for mantissa in (1, 2, 5):
+            bounds.append(mantissa * 10**exp)
+    return tuple(bounds)
+
+
+DEFAULT_LATENCY_BUCKETS = default_latency_buckets()
+
+
+class Counter:
+    """A monotonically increasing integer cell."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A settable level (last-write-wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        self.value = value
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds; values above the last bound
+    land in an implicit overflow bucket. Percentiles interpolate linearly
+    inside the winning bucket and are clamped to the observed min/max,
+    so small-sample answers stay sane.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self, name: str, buckets: Optional[Sequence[int]] = None
+    ) -> None:
+        self.name = name
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0
+        self.min = 0
+        self.max = 0
+
+    def record(self, value: int) -> None:
+        value = int(value)
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.count += 1
+        self.sum += value
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated value at percentile ``q`` (0 < q <= 100)."""
+        if not 0 < q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.bounds[index - 1] if index > 0 else self.min
+                upper = (
+                    self.bounds[index] if index < len(self.bounds) else self.max
+                )
+                fraction = (target - cumulative) / bucket_count
+                value = lower + (upper - lower) * fraction
+                return float(min(max(value, self.min), self.max))
+            cumulative += bucket_count
+        return float(self.max)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0
+        self.min = 0
+        self.max = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.0f})"
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def set(self, value: int) -> None:
+        pass
+
+    def add(self, n: int = 1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null", buckets=(1,))
+
+    def record(self, value: int) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+#: fn() -> Dict[str, object]; a component-owned snapshot provider
+SnapshotSource = Callable[[], Dict[str, object]]
+
+
+class MetricRegistry:
+    """Instrument factory + span collector + snapshot aggregator.
+
+    - :meth:`counter` / :meth:`gauge` / :meth:`histogram` create or
+      return the named instrument (shared by name).
+    - :meth:`start_span` opens a virtual-time :class:`Span`; finished
+      root spans are collected (bounded by ``max_spans``) and every
+      finished span feeds a ``span.<name>_ns`` duration histogram — the
+      basis of the per-layer time breakdown.
+    - :meth:`register_source` plugs in a component's own ``snapshot()``
+      (e.g. :class:`~repro.sim.stats.DeviceStats`), so legacy stats
+      appear in the unified snapshot without per-op double counting.
+    - :meth:`trace_io` attaches a bounded :class:`IOLog` to a device.
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self.max_spans = max_spans
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._sources: Dict[str, SnapshotSource] = {}
+        self.spans: List[Span] = []
+        self.spans_dropped = 0
+        self.io_log: Optional[IOLog] = None
+        self._io_device = None
+
+    # ------------------------------------------------------------------
+    # instruments
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        cell = self._counters.get(name)
+        if cell is None:
+            cell = self._counters[name] = Counter(name)
+        return cell
+
+    def gauge(self, name: str) -> Gauge:
+        cell = self._gauges.get(name)
+        if cell is None:
+            cell = self._gauges[name] = Gauge(name)
+        return cell
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[int]] = None
+    ) -> Histogram:
+        cell = self._histograms.get(name)
+        if cell is None:
+            cell = self._histograms[name] = Histogram(name, buckets)
+        return cell
+
+    def find_histogram(self, name: str) -> Optional[Histogram]:
+        """The named histogram if some component created it, else None."""
+        return self._histograms.get(name)
+
+    def register_source(self, name: str, source: SnapshotSource) -> None:
+        self._sources[name] = source
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+
+    def start_span(
+        self, name: str, at: int, parent: Optional[Span] = None, **attrs: object
+    ) -> Span:
+        if parent is not None:
+            return parent.child(name, at, **attrs)
+        return Span(name, at, registry=self, **attrs)
+
+    def _finish_span(self, span: Span) -> None:
+        self.histogram(f"span.{span.name}_ns").record(span.duration_ns)
+        if span.parent is None:
+            if len(self.spans) < self.max_spans:
+                self.spans.append(span)
+            else:
+                self.spans_dropped += 1
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    # ------------------------------------------------------------------
+    # device tracing
+    # ------------------------------------------------------------------
+
+    def trace_io(self, device, capacity: int = 1_000_000) -> IOLog:
+        """Record every operation of ``device`` into a bounded IOLog."""
+        if self.io_log is not None:
+            raise RuntimeError("registry already traces a device")
+        log = IOLog(capacity)
+
+        def listener(kind, nbytes, at, done, sequential):
+            log.record(kind, nbytes, at, done, sequential)
+
+        device.add_io_listener(listener)
+        self.io_log = log
+        self._io_device = (device, listener)
+        return log
+
+    def stop_io_trace(self) -> None:
+        if self._io_device is not None:
+            device, listener = self._io_device
+            device.remove_io_listener(listener)
+            self._io_device = None
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """One nested dict of everything recorded so far."""
+        doc: Dict[str, object] = {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
+            },
+            "sources": {n: fn() for n, fn in sorted(self._sources.items())},
+            "spans": {
+                "collected": len(self.spans),
+                "dropped": self.spans_dropped,
+            },
+        }
+        if self.io_log is not None:
+            doc["io"] = {
+                "events": len(self.io_log.events),
+                "dropped": self.io_log.dropped,
+                "totals": self.io_log.totals(),
+            }
+        return doc
+
+    def reset(self) -> None:
+        """Zero every instrument and forget collected spans.
+
+        Registered sources are kept but not reset — they belong to their
+        components (call their own ``reset()`` for a new experiment).
+        """
+        for cell in self._counters.values():
+            cell.reset()
+        for cell in self._gauges.values():
+            cell.reset()
+        for cell in self._histograms.values():
+            cell.reset()
+        self.spans.clear()
+        self.spans_dropped = 0
+        if self.io_log is not None:
+            self.io_log.reset()
+
+
+class NullRegistry(MetricRegistry):
+    """The disabled registry: every instrument is a shared no-op.
+
+    Hot paths may additionally guard whole recording blocks with
+    ``if registry.enabled:`` so that disabled runs pay nothing beyond an
+    attribute check.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(max_spans=0)
+
+    def counter(self, name: str) -> Counter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return NULL_GAUGE
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[int]] = None
+    ) -> Histogram:
+        return NULL_HISTOGRAM
+
+    def register_source(self, name: str, source: SnapshotSource) -> None:
+        pass
+
+    def start_span(
+        self, name: str, at: int, parent: Optional[Span] = None, **attrs: object
+    ):
+        return NULL_SPAN
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

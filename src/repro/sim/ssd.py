@@ -6,15 +6,29 @@ simulation. It keeps one *busy timeline*: an I/O submitted at virtual time
 service time. This is what makes syncs expensive in exactly the way the
 paper describes — a FLUSH barrier must wait for all queued writes, then
 stalls everything submitted after it.
+
+Observability: the device reports through an optional
+:class:`~repro.obs.metrics.MetricRegistry` — per-op latency histograms
+(``device.write_ns`` / ``device.read_ns`` / ``device.flush_ns``, each
+measured submission→completion so queueing is included) and a
+``device.queue_ns`` counter of time spent waiting behind earlier I/O.
+Independent of the registry, *listeners* may subscribe to every
+operation (``add_io_listener``); this is the mechanism behind
+:class:`~repro.sim.trace.IOTrace` and ``MetricRegistry.trace_io``,
+replacing the old method monkey-patching.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, List, Optional
 
+from repro.obs.metrics import MetricRegistry, NULL_REGISTRY
 from repro.sim.clock import VirtualClock
 from repro.sim.latency import DeviceProfile, PM883
 from repro.sim.stats import DeviceStats
+
+#: (kind, nbytes, submitted_at, completed_at, sequential)
+IOListener = Callable[[str, int, int, int, bool], None]
 
 
 class SSD:
@@ -32,11 +46,21 @@ class SSD:
         clock: VirtualClock,
         profile: DeviceProfile = PM883,
         stats: Optional[DeviceStats] = None,
+        obs: Optional[MetricRegistry] = None,
     ) -> None:
         self.clock = clock
         self.profile = profile
         self.stats = stats if stats is not None else DeviceStats()
+        self.obs = obs if obs is not None else NULL_REGISTRY
         self._busy_until = 0
+        self._listeners: List[IOListener] = []
+        self._observe = self.obs.enabled
+        if self._observe:
+            self.obs.register_source("device", self.stats.snapshot)
+            self._write_hist = self.obs.histogram("device.write_ns")
+            self._read_hist = self.obs.histogram("device.read_ns")
+            self._flush_hist = self.obs.histogram("device.flush_ns")
+            self._queue_ns = self.obs.counter("device.queue_ns")
 
     @property
     def busy_until(self) -> int:
@@ -46,6 +70,27 @@ class SSD:
     def idle_at(self, at: int) -> bool:
         """True if the device has no queued work at time ``at``."""
         return self._busy_until <= at
+
+    # ------------------------------------------------------------------
+    # I/O listeners (tracing)
+    # ------------------------------------------------------------------
+
+    def add_io_listener(self, listener: IOListener) -> None:
+        """Subscribe to every device operation (used by I/O tracing)."""
+        self._listeners.append(listener)
+
+    def remove_io_listener(self, listener: IOListener) -> None:
+        self._listeners.remove(listener)
+
+    def _notify(
+        self, kind: str, nbytes: int, at: int, done: int, sequential: bool
+    ) -> None:
+        for listener in self._listeners:
+            listener(kind, nbytes, int(at), done, sequential)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
 
     def _service(self, at: int, duration: int) -> int:
         start = max(int(at), self._busy_until)
@@ -59,20 +104,36 @@ class SSD:
         if nbytes < 0:
             raise ValueError(f"negative write size {nbytes}")
         if nbytes == 0:
-            return max(int(at), self._busy_until)
-        self.stats.bytes_written += nbytes
-        self.stats.write_ios += 1
-        return self._service(at, self.profile.write_ns(nbytes, sequential))
+            done = max(int(at), self._busy_until)
+        else:
+            self.stats.bytes_written += nbytes
+            self.stats.write_ios += 1
+            if self._observe:
+                self._queue_ns.inc(max(self._busy_until - int(at), 0))
+            done = self._service(at, self.profile.write_ns(nbytes, sequential))
+            if self._observe:
+                self._write_hist.record(done - int(at))
+        if self._listeners:
+            self._notify("write", nbytes, at, done, sequential)
+        return done
 
     def read(self, nbytes: int, at: int, sequential: bool = True) -> int:
         """Submit a read; returns its completion time."""
         if nbytes < 0:
             raise ValueError(f"negative read size {nbytes}")
         if nbytes == 0:
-            return max(int(at), self._busy_until)
-        self.stats.bytes_read += nbytes
-        self.stats.read_ios += 1
-        return self._service(at, self.profile.read_ns(nbytes, sequential))
+            done = max(int(at), self._busy_until)
+        else:
+            self.stats.bytes_read += nbytes
+            self.stats.read_ios += 1
+            if self._observe:
+                self._queue_ns.inc(max(self._busy_until - int(at), 0))
+            done = self._service(at, self.profile.read_ns(nbytes, sequential))
+            if self._observe:
+                self._read_hist.record(done - int(at))
+        if self._listeners:
+            self._notify("read", nbytes, at, done, sequential)
+        return done
 
     def flush(self, at: int) -> int:
         """Issue a FLUSH barrier.
@@ -83,9 +144,15 @@ class SSD:
         subsequent I/O (Section 2.2 of the paper).
         """
         self.stats.flushes += 1
+        if self._observe:
+            self._queue_ns.inc(max(self._busy_until - int(at), 0))
         completion = self._service(
             at, self.profile.flush_ns + self.profile.barrier_extra_ns
         )
+        if self._observe:
+            self._flush_hist.record(completion - int(at))
+        if self._listeners:
+            self._notify("flush", 0, at, completion, True)
         return completion
 
     def reset(self) -> None:

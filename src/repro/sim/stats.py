@@ -6,6 +6,13 @@ Two stat families matter for the paper's evaluation:
   the device spent busy. Feeds Figure 2a and general sanity checks.
 - :class:`SyncStats` — the number of sync calls an application issued and
   the volume of data those syncs made durable. Feeds Table 1.
+
+Both follow one contract so harnesses can treat them uniformly and so
+they can serve as snapshot *sources* for an observability registry
+(:mod:`repro.obs`): ``snapshot() -> Dict[str, object]`` with only
+JSON-serializable values, ``reset()`` back to the zero state, and
+``from_snapshot(data)`` reconstructing an equal object (the round-trip
+property: ``T.from_snapshot(x.snapshot()) == x``).
 """
 
 from __future__ import annotations
@@ -35,7 +42,7 @@ class DeviceStats:
         self.flushes = 0
         self.busy_ns = 0
 
-    def snapshot(self) -> Dict[str, int]:
+    def snapshot(self) -> Dict[str, object]:
         return {
             "bytes_written": self.bytes_written,
             "bytes_read": self.bytes_read,
@@ -44,6 +51,17 @@ class DeviceStats:
             "flushes": self.flushes,
             "busy_ns": self.busy_ns,
         }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "DeviceStats":
+        return cls(
+            bytes_written=int(data.get("bytes_written", 0)),
+            bytes_read=int(data.get("bytes_read", 0)),
+            write_ios=int(data.get("write_ios", 0)),
+            read_ios=int(data.get("read_ios", 0)),
+            flushes=int(data.get("flushes", 0)),
+            busy_ns=int(data.get("busy_ns", 0)),
+        )
 
 
 @dataclass
@@ -86,3 +104,12 @@ class SyncStats:
             "by_reason": dict(self.by_reason),
             "bytes_by_reason": dict(self.bytes_by_reason),
         }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "SyncStats":
+        return cls(
+            sync_calls=int(data.get("sync_calls", 0)),
+            bytes_synced=int(data.get("bytes_synced", 0)),
+            by_reason=dict(data.get("by_reason", {})),
+            bytes_by_reason=dict(data.get("bytes_by_reason", {})),
+        )

@@ -1,36 +1,27 @@
-"""Optional device I/O tracing.
+"""Optional device I/O tracing (adapter over :mod:`repro.obs`).
 
 Attach a :class:`IOTrace` to an :class:`~repro.sim.ssd.SSD` to record
 every read/write/flush with its submission and completion times — useful
 for debugging timing behaviour and for the examples' timeline output.
+
+Historically this wrapped the SSD's methods; it is now a thin adapter
+that subscribes to the device's I/O listener hook and stores events in
+an :class:`~repro.obs.events.IOLog`. The attach/detach API and the event
+records are unchanged. New code observing a whole stack should prefer
+``MetricRegistry.trace_io`` (see :mod:`repro.obs`), which uses the same
+mechanism.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional
-
+from repro.obs.events import IOEvent, IOLog
 from repro.sim.ssd import SSD
 
-
-@dataclass(frozen=True)
-class IOEvent:
-    """One device operation."""
-
-    kind: str  # 'read' | 'write' | 'flush'
-    nbytes: int
-    submitted_at: int
-    completed_at: int
-    sequential: bool
-
-    @property
-    def queued_ns(self) -> int:
-        """Time spent waiting behind earlier I/O."""
-        return max(self.completed_at - self.submitted_at, 0)
+__all__ = ["IOEvent", "IOTrace"]
 
 
 class IOTrace:
-    """Records device operations by wrapping an SSD's methods.
+    """Records device operations by subscribing to an SSD's I/O events.
 
     >>> trace = IOTrace.attach(ssd)
     >>> ... run workload ...
@@ -41,76 +32,41 @@ class IOTrace:
     def __init__(self, device: SSD, capacity: int = 1_000_000) -> None:
         self.device = device
         self.capacity = capacity
-        self.events: List[IOEvent] = []
-        self.dropped = 0
-        self._orig_write: Optional[Callable] = None
-        self._orig_read: Optional[Callable] = None
-        self._orig_flush: Optional[Callable] = None
+        self.log = IOLog(capacity)
+        self._attached = False
 
     @classmethod
     def attach(cls, device: SSD, capacity: int = 1_000_000) -> "IOTrace":
         trace = cls(device, capacity)
-        trace._orig_write = device.write
-        trace._orig_read = device.read
-        trace._orig_flush = device.flush
-
-        def write(nbytes: int, at: int, sequential: bool = True) -> int:
-            done = trace._orig_write(nbytes, at, sequential)
-            trace._record("write", nbytes, at, done, sequential)
-            return done
-
-        def read(nbytes: int, at: int, sequential: bool = True) -> int:
-            done = trace._orig_read(nbytes, at, sequential)
-            trace._record("read", nbytes, at, done, sequential)
-            return done
-
-        def flush(at: int) -> int:
-            done = trace._orig_flush(at)
-            trace._record("flush", 0, at, done, True)
-            return done
-
-        device.write = write
-        device.read = read
-        device.flush = flush
+        device.add_io_listener(trace._record)
+        trace._attached = True
         return trace
 
     def detach(self) -> None:
-        if self._orig_write is not None:
-            self.device.write = self._orig_write
-            self.device.read = self._orig_read
-            self.device.flush = self._orig_flush
-            self._orig_write = None
+        if self._attached:
+            self.device.remove_io_listener(self._record)
+            self._attached = False
 
     def _record(
         self, kind: str, nbytes: int, at: int, done: int, sequential: bool
     ) -> None:
-        if len(self.events) >= self.capacity:
-            self.dropped += 1
-            return
-        self.events.append(IOEvent(kind, nbytes, int(at), int(done), sequential))
+        self.log.record(kind, nbytes, at, done, sequential)
+
+    @property
+    def events(self) -> "list[IOEvent]":
+        return self.log.events
+
+    @property
+    def dropped(self) -> int:
+        return self.log.dropped
 
     # ------------------------------------------------------------------
     # summaries
     # ------------------------------------------------------------------
 
     def totals(self) -> "dict[str, int]":
-        out: "dict[str, int]" = {}
-        for event in self.events:
-            out[event.kind] = out.get(event.kind, 0) + 1
-            out[f"{event.kind}_bytes"] = (
-                out.get(f"{event.kind}_bytes", 0) + event.nbytes
-            )
-        return out
+        return self.log.totals()
 
     def format_timeline(self, limit: int = 50) -> str:
         """First ``limit`` events as a readable timeline (debugging aid)."""
-        lines = ["      t(us)   done(us)  op     bytes"]
-        for event in self.events[:limit]:
-            lines.append(
-                f"{event.submitted_at / 1000:11.1f} "
-                f"{event.completed_at / 1000:10.1f}  "
-                f"{event.kind:5s} {event.nbytes:>9d}"
-            )
-        if len(self.events) > limit:
-            lines.append(f"... {len(self.events) - limit} more events")
-        return "\n".join(lines)
+        return self.log.format_timeline(limit)

@@ -1,0 +1,81 @@
+"""Unit tests for the lazy background executor."""
+
+import pytest
+
+from repro.lsm.background import LazyExecutor
+
+
+def test_rejects_zero_threads():
+    with pytest.raises(ValueError):
+        LazyExecutor(0)
+
+
+def test_single_thread_serializes_jobs():
+    ex = LazyExecutor(1)
+    ex.execute(0, lambda start: start + 100)
+    # second job is ready at t=10 but the thread is busy until 100
+    starts = []
+
+    def job(start):
+        starts.append(start)
+        return start + 50
+
+    done = ex.execute(10, job)
+    assert starts == [100]
+    assert done == 150
+    assert ex.jobs == 2
+    assert ex.busy_ns == 150
+
+
+def test_job_starts_no_earlier_than_ready():
+    ex = LazyExecutor(1)
+    done = ex.execute(500, lambda start: start + 1)
+    assert done == 501
+    assert ex.earliest_free() == 501
+
+
+def test_least_loaded_thread_is_selected():
+    ex = LazyExecutor(2)
+    ex.execute(0, lambda start: start + 1000)  # thread 0 busy until 1000
+    starts = []
+
+    def job(start):
+        starts.append(start)
+        return start + 10
+
+    ex.execute(0, job)  # should land on the idle thread 1
+    assert starts == [0]
+    assert sorted(ex._free_at) == [10, 1000]
+    assert ex.earliest_free() == 10
+    assert ex.latest_free() == 1000
+
+
+def test_work_going_backwards_raises():
+    ex = LazyExecutor(1)
+    with pytest.raises(RuntimeError, match="backwards"):
+        ex.execute(100, lambda start: start - 1)
+
+
+def test_nested_followups_never_rewind_free_at():
+    """A job that recursively executes follow-up work may advance the
+    thread past its own completion; the outer bookkeeping must not
+    rewind the watermark."""
+    ex = LazyExecutor(1)
+
+    def outer(start):
+        # nested follow-up runs on the same thread and finishes later
+        ex.execute(start, lambda s: s + 1000)
+        return start + 10  # outer job itself is short
+
+    done = ex.execute(0, outer)
+    assert done == 10
+    assert ex.earliest_free() == 1000  # not rewound to 10
+    assert ex.jobs == 2
+
+
+def test_idle_at_tracks_all_threads():
+    ex = LazyExecutor(2)
+    assert ex.idle_at(0)
+    ex.execute(0, lambda start: start + 100)
+    assert not ex.idle_at(50)
+    assert ex.idle_at(100)

@@ -1,0 +1,142 @@
+"""Unit tests for the metric registry and its instruments."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    NullRegistry,
+    default_latency_buckets,
+)
+
+
+def test_counter_and_gauge_basics():
+    c = Counter("x")
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+    c.reset()
+    assert c.value == 0
+
+    g = Gauge("y")
+    g.set(10)
+    g.add(-3)
+    assert g.value == 7
+
+
+def test_default_buckets_strictly_increasing():
+    bounds = default_latency_buckets()
+    assert list(bounds) == sorted(set(bounds))
+    assert bounds[0] == 1_000  # 1 us
+    assert bounds[-1] == 5 * 10**10  # 50 s
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=(5, 2, 10))
+    with pytest.raises(ValueError):
+        Histogram("dup", buckets=(1, 1, 2))
+
+
+def test_histogram_exact_aggregates():
+    h = Histogram("lat")
+    for v in (100, 200, 300, 400):
+        h.record(v)
+    assert h.count == 4
+    assert h.sum == 1000
+    assert h.min == 100
+    assert h.max == 400
+    assert h.mean == 250.0
+
+
+def test_histogram_percentiles_clamped_and_ordered():
+    h = Histogram("lat")
+    for v in range(1, 101):
+        h.record(v * 1000)
+    assert h.min <= h.p50 <= h.p95 <= h.p99 <= h.max
+    # p50 of a uniform 1..100k spread lands mid-range
+    assert 20_000 < h.p50 < 80_000
+    # percentile of an empty histogram is 0
+    assert Histogram("empty").p99 == 0.0
+    with pytest.raises(ValueError):
+        h.percentile(0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_histogram_single_value_percentiles_are_exact():
+    h = Histogram("lat")
+    h.record(12_345)
+    assert h.p50 == 12_345
+    assert h.p99 == 12_345
+
+
+def test_registry_caches_instruments_by_name():
+    reg = MetricRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("b") is reg.gauge("b")
+    assert reg.histogram("c") is reg.histogram("c")
+    assert reg.find_histogram("c") is reg.histogram("c")
+    assert reg.find_histogram("never-created") is None
+
+
+def test_registry_snapshot_sections():
+    reg = MetricRegistry()
+    reg.counter("hits").inc(3)
+    reg.gauge("depth").set(2)
+    reg.histogram("lat").record(500)
+    reg.register_source("component", lambda: {"k": 1})
+    snap = reg.snapshot()
+    assert snap["counters"] == {"hits": 3}
+    assert snap["gauges"] == {"depth": 2}
+    assert snap["histograms"]["lat"]["count"] == 1
+    assert snap["sources"] == {"component": {"k": 1}}
+    assert snap["spans"] == {"collected": 0, "dropped": 0}
+
+
+def test_registry_reset_zeroes_instruments_keeps_sources():
+    reg = MetricRegistry()
+    reg.counter("hits").inc(3)
+    reg.histogram("lat").record(500)
+    span = reg.start_span("op", at=0)
+    span.end(10)
+    reg.register_source("component", lambda: {"k": 1})
+    reg.reset()
+    snap = reg.snapshot()
+    assert snap["counters"] == {"hits": 0}
+    assert snap["histograms"]["lat"]["count"] == 0
+    assert snap["spans"]["collected"] == 0
+    assert snap["sources"] == {"component": {"k": 1}}
+
+
+def test_null_registry_is_shared_noops():
+    assert NULL_REGISTRY.enabled is False
+    assert MetricRegistry.enabled is True
+    assert NULL_REGISTRY.counter("a") is NULL_COUNTER
+    assert NULL_REGISTRY.gauge("b") is NULL_GAUGE
+    assert NULL_REGISTRY.histogram("c") is NULL_HISTOGRAM
+    NULL_REGISTRY.counter("a").inc(100)
+    NULL_REGISTRY.histogram("c").record(123)
+    assert NULL_COUNTER.value == 0
+    assert NULL_HISTOGRAM.count == 0
+    assert NULL_REGISTRY.snapshot() == {}
+    # sources are dropped, not held
+    NULL_REGISTRY.register_source("x", lambda: {})
+    assert NULL_REGISTRY.snapshot() == {}
+    assert isinstance(NULL_REGISTRY, NullRegistry)
+
+
+def test_span_collection_bounded_by_max_spans():
+    reg = MetricRegistry(max_spans=2)
+    for i in range(5):
+        reg.start_span("op", at=i).end(i + 1)
+    assert len(reg.spans) == 2
+    assert reg.spans_dropped == 3
+    # every finished span still fed the duration histogram
+    assert reg.find_histogram("span.op_ns").count == 5

@@ -1,0 +1,70 @@
+"""Unit tests for virtual-time spans."""
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.spans import NULL_SPAN, Span
+
+
+def test_span_duration_and_attrs():
+    span = Span("commit", 100, tid=7)
+    assert not span.ended
+    assert span.duration_ns == 0
+    span.annotate(inodes=3)
+    span.end(400)
+    assert span.ended
+    assert span.duration_ns == 300
+    assert span.attrs == {"tid": 7, "inodes": 3}
+
+
+def test_span_end_is_idempotent():
+    span = Span("op", 0)
+    assert span.end(50) == 50
+    assert span.end(999) == 999  # returns at, but keeps first end time
+    assert span.end_ns == 50
+
+
+def test_span_end_never_before_start():
+    span = Span("op", 100)
+    span.end(40)
+    assert span.end_ns == 100
+    assert span.duration_ns == 0
+
+
+def test_child_spans_nest_and_serialize():
+    root = Span("parent", 0)
+    child = root.child("inner", 10, step=1)
+    child.end(20)
+    root.end(30)
+    assert child.parent is root
+    assert root.children == [child]
+    doc = root.to_dict()
+    assert doc["name"] == "parent"
+    assert doc["duration_ns"] == 30
+    assert doc["children"][0]["name"] == "inner"
+    assert doc["children"][0]["attrs"] == {"step": 1}
+
+
+def test_registry_collects_only_roots_but_times_all():
+    reg = MetricRegistry()
+    root = reg.start_span("outer", at=0)
+    child = reg.start_span("inner", at=5, parent=root)
+    child.end(15)
+    root.end(40)
+    assert [s.name for s in reg.spans] == ["outer"]
+    assert reg.spans_named("outer") == [root]
+    assert reg.find_histogram("span.inner_ns").count == 1
+    assert reg.find_histogram("span.outer_ns").sum == 40
+
+
+def test_unfinished_spans_are_not_collected():
+    reg = MetricRegistry()
+    reg.start_span("open", at=0)
+    assert reg.spans == []
+    assert reg.find_histogram("span.open_ns") is None
+
+
+def test_null_span_absorbs_everything():
+    assert NULL_SPAN.child("x", 5) is NULL_SPAN
+    assert NULL_SPAN.annotate(a=1) is NULL_SPAN
+    assert NULL_SPAN.end(123) == 123
+    assert NULL_SPAN.to_dict() == {}
+    assert NULL_SPAN.duration_ns == 0

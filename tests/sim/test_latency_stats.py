@@ -69,3 +69,35 @@ def test_sync_stats_reset():
     assert stats.sync_calls == 0
     assert stats.by_reason == {}
     assert stats.snapshot()["bytes_synced"] == 0
+
+
+def test_device_stats_snapshot_round_trip():
+    stats = DeviceStats(
+        bytes_written=10, bytes_read=4, write_ios=3, read_ios=2,
+        flushes=1, busy_ns=777,
+    )
+    clone = DeviceStats.from_snapshot(stats.snapshot())
+    assert clone == stats
+    # fresh object round-trips to the zero state too
+    assert DeviceStats.from_snapshot(DeviceStats().snapshot()) == DeviceStats()
+
+
+def test_sync_stats_snapshot_round_trip():
+    stats = SyncStats()
+    stats.record(100, "minor")
+    stats.record(50, "manifest")
+    clone = SyncStats.from_snapshot(stats.snapshot())
+    assert clone == stats
+    # the clone owns its dicts: mutating it leaves the original alone
+    clone.record(1, "wal")
+    assert "wal" not in stats.by_reason
+
+
+def test_snapshots_are_json_serializable():
+    import json
+
+    stats = SyncStats()
+    stats.record(100, "minor")
+    json.dumps(stats.snapshot())
+    json.dumps(DeviceStats(bytes_written=5).snapshot())
+
