@@ -10,6 +10,12 @@ Usage::
     python -m repro.bench fig5a  [--scale 2000]
     python -m repro.bench fig5b  [--scale 2000]
     python -m repro.bench all
+    python -m repro.bench crash-matrix [--points 120] [--seed 0]
+                                       [--num 240] [--modes noblsm,sync]
+
+``crash-matrix`` is the durability sweep, not a figure: it exits
+non-zero if any crash point violates a durability invariant, so CI can
+gate on it. ``all`` regenerates the figures only.
 """
 
 from __future__ import annotations
@@ -133,12 +139,42 @@ ALL_TARGETS = ["fig2a", "fig2b", "fig4a", "fig4b", "fig4c", "fig4d",
                "table1", "fig5a", "fig5b"]
 
 
+def _run_crash_matrix(args) -> int:
+    """The ``crash-matrix`` target: sweep crash points, gate on violations."""
+    from repro.crashtest import (
+        CrashMatrixConfig,
+        matrix_payload,
+        render_matrix,
+        run_crash_matrix,
+    )
+
+    modes = args.modes.split(",") if args.modes else ["noblsm", "sync"]
+    reports = []
+    for mode in modes:
+        config = CrashMatrixConfig(
+            mode=mode,
+            points=args.points,
+            seed=args.seed,
+            num_ops=args.num,
+        )
+        reports.append(run_crash_matrix(config))
+    print(render_matrix(reports))
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+        path = os.path.join(args.json, "crash-matrix.json")
+        with open(path, "w") as fh:
+            json.dump(matrix_payload(reports), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {path}")
+    return 0 if not any(r.violations for r in reports) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the NobLSM paper's tables and figures.",
     )
-    parser.add_argument("target", choices=ALL_TARGETS + ["all"])
+    parser.add_argument("target", choices=ALL_TARGETS + ["all", "crash-matrix"])
     parser.add_argument(
         "--scale",
         type=float,
@@ -163,7 +199,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write <DIR>/<target>.json machine-readable payloads "
              "(reruns each target)",
     )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=120,
+        help="crash-matrix: injection-point budget per mode (default 120)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="crash-matrix: workload / point-selection seed (default 0)",
+    )
+    parser.add_argument(
+        "--num",
+        type=int,
+        default=240,
+        help="crash-matrix: operations per workload (default 240)",
+    )
+    parser.add_argument(
+        "--modes",
+        type=str,
+        default=None,
+        help="crash-matrix: comma-separated modes (default noblsm,sync)",
+    )
     args = parser.parse_args(argv)
+    if args.target == "crash-matrix":
+        return _run_crash_matrix(args)
     stores = args.stores.split(",") if args.stores else None
     targets = ALL_TARGETS if args.target == "all" else [args.target]
     for target in targets:

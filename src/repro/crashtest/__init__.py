@@ -1,0 +1,59 @@
+"""Crash-point exploration harness (the paper's Section 5.2, systematized).
+
+The paper's consistency test pulls the plug once, mid-fillrandom, and
+checks that nothing committed was lost. This package turns that single
+hand-picked experiment into a sweep: a reference run discovers every
+interesting virtual time (journal-commit boundaries, mid-commit,
+mid-writeback, mid-WAL-append, mid-compaction, plus randomized times)
+from the observability stream, and the workload is then deterministically
+re-executed once per point with an :class:`~repro.sim.events.Interrupt`
+scheduled at that time. At the interrupt the harness checks the shadow
+retention invariant, injects ``Ext4.crash()``, recovers through the
+normal ``DB`` open path (falling back to :func:`repro.lsm.repair.repair_db`),
+and verifies the recovered store against a durability oracle:
+
+- every acked-durable KV survives with its newest value (and an
+  acked-durable delete stays deleted — no resurrection);
+- every recovered value was actually written at some point (recovered
+  state is a subset of history);
+- no shadow predecessor SSTable is gone while a successor is uncommitted.
+
+``python -m repro.bench.cli crash-matrix`` drives the sweep for both the
+``noblsm`` store and the sync-everything baseline.
+"""
+
+from repro.crashtest.harness import (
+    CrashMatrixConfig,
+    CrashMatrixReport,
+    MODES,
+    PointResult,
+    run_crash_matrix,
+)
+from repro.crashtest.oracle import DurabilityOracle, Violation
+from repro.crashtest.points import (
+    CrashPoint,
+    SpanCollector,
+    points_from_ops,
+    points_from_spans,
+    random_points,
+    select_points,
+)
+from repro.crashtest.report import render_matrix, matrix_payload
+
+__all__ = [
+    "CrashMatrixConfig",
+    "CrashMatrixReport",
+    "CrashPoint",
+    "DurabilityOracle",
+    "MODES",
+    "PointResult",
+    "SpanCollector",
+    "Violation",
+    "matrix_payload",
+    "points_from_ops",
+    "points_from_spans",
+    "random_points",
+    "render_matrix",
+    "run_crash_matrix",
+    "select_points",
+]

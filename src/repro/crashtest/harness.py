@@ -1,0 +1,384 @@
+"""Run a workload once per crash point and verify every recovery.
+
+The harness exploits the simulation's determinism: a workload replayed
+from the same seed on a fresh stack reproduces the reference run's
+timeline exactly (observability never moves the virtual clock), so an
+:class:`~repro.sim.events.Interrupt` scheduled at a discovered virtual
+time freezes the stack in precisely the state the reference run passed
+through. Crashing there and recovering explores one point; the matrix
+sweeps hundreds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.noblsm import NobLSM
+from repro.crashtest.oracle import DurabilityOracle, LostTailStats, Violation
+from repro.crashtest.points import (
+    CrashPoint,
+    SpanCollector,
+    points_from_ops,
+    points_from_spans,
+    random_points,
+    select_points,
+)
+from repro.fs.jbd2 import JournalConfig
+from repro.fs.stack import StackConfig, StorageStack
+from repro.lsm.db import DB
+from repro.lsm.options import KIB, Options
+from repro.lsm.repair import repair_db
+from repro.obs.metrics import MetricRegistry
+from repro.sim.clock import millis
+from repro.sim.events import Interrupt
+
+#: (op, key, value-or-None) — one workload step
+WorkloadOp = Tuple[str, bytes, Optional[bytes]]
+
+#: mode name -> (store class, sync-acked semantics)
+MODES: Dict[str, Tuple[type, bool]] = {
+    # the paper's store: one fsync per KV pair, async commits elsewhere
+    "noblsm": (NobLSM, False),
+    # sync-everything baseline: WAL fsync on every write, so every acked
+    # operation must survive any crash
+    "sync": (DB, True),
+}
+
+
+@dataclass
+class CrashMatrixConfig:
+    """One mode's sweep configuration."""
+
+    mode: str = "noblsm"
+    points: int = 120
+    seed: int = 0
+    num_ops: int = 240
+    num_keys: int = 64
+    delete_fraction: float = 0.1
+    #: fraction of the point budget drawn uniformly at random
+    random_fraction: float = 0.2
+    commit_interval_ns: int = millis(20)
+    reclaim_interval_ns: int = millis(20)
+    dbname: str = "db"
+
+    def validate(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown mode {self.mode!r}; pick one of {sorted(MODES)}"
+            )
+        if self.points < 1:
+            raise ValueError("need at least one crash point")
+        if self.num_ops < 1 or self.num_keys < 1:
+            raise ValueError("workload must have ops and keys")
+
+    def build_options(self) -> Options:
+        """Tiny capacities so a short workload exercises deep compactions."""
+        options = Options(
+            write_buffer_size=1 * KIB,
+            max_file_size=1 * KIB,
+            block_size=256,
+            max_bytes_for_level_base=2 * KIB,
+            l0_compaction_trigger=2,
+        )
+        options.reclaim_interval_ns = self.reclaim_interval_ns
+        if MODES[self.mode][1]:
+            options.sync.sync_wal = True
+        return options
+
+    def build_stack(self, observe: bool = False) -> StorageStack:
+        obs = MetricRegistry() if observe else None
+        return StorageStack(
+            StackConfig(
+                journal=JournalConfig(
+                    commit_interval_ns=self.commit_interval_ns
+                ),
+                obs=obs,
+            )
+        )
+
+    def build_store(self, stack: StorageStack):
+        store_cls = MODES[self.mode][0]
+        return store_cls(stack, self.dbname, options=self.build_options())
+
+
+def build_workload(config: CrashMatrixConfig) -> List[WorkloadOp]:
+    """Deterministic fillrandom with a sprinkle of deletes."""
+    rng = random.Random(config.seed)
+    ops: List[WorkloadOp] = []
+    written: List[bytes] = []
+    for _ in range(config.num_ops):
+        if written and rng.random() < config.delete_fraction:
+            ops.append(("delete", rng.choice(written), None))
+            continue
+        key = f"key{rng.randrange(config.num_keys):04d}".encode()
+        value = f"v{rng.randrange(10**8):08d}".encode() * 3
+        ops.append(("put", key, value))
+        written.append(key)
+    return ops
+
+
+@dataclass
+class PointResult:
+    """Outcome of one injection."""
+
+    point: CrashPoint
+    crashed_at: int
+    recovery: str  # "open" | "repair" | "failed"
+    wal_tail_drops: int
+    violations: List[Violation]
+    lost_tail: LostTailStats
+    recovered_records: int = 0
+
+
+@dataclass
+class CrashMatrixReport:
+    """Aggregate of a whole mode sweep."""
+
+    mode: str
+    seed: int
+    num_ops: int
+    reference_end_ns: int = 0
+    candidate_points: int = 0
+    results: List[PointResult] = field(default_factory=list)
+
+    @property
+    def points_explored(self) -> int:
+        return len(self.results)
+
+    @property
+    def violations(self) -> List[Violation]:
+        return [v for r in self.results for v in r.violations]
+
+    @property
+    def recovery_modes(self) -> Dict[str, int]:
+        counts = {"open": 0, "repair": 0, "failed": 0}
+        for result in self.results:
+            counts[result.recovery] += 1
+        return counts
+
+    @property
+    def points_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            kind = result.point.kind
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    @property
+    def wal_tail_drops(self) -> int:
+        return sum(r.wal_tail_drops for r in self.results)
+
+    @property
+    def lost_tail_totals(self) -> Dict[str, int]:
+        totals = {"volatile_keys": 0, "lost": 0, "reverted": 0, "intact": 0}
+        for result in self.results:
+            for name, value in result.lost_tail.snapshot().items():
+                totals[name] += value
+        return totals
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+
+
+def _volatile_keys(db, keys) -> Set[bytes]:
+    """Keys whose newest version lives only in memtables + unsynced WAL."""
+    if db is None:
+        return set()
+    volatile: Set[bytes] = set()
+    pending = db._pending_imm[0] if db._pending_imm is not None else None
+    for key in keys:
+        if db.mem.get(key) is not None:
+            volatile.add(key)
+        elif pending is not None and pending.get(key) is not None:
+            volatile.add(key)
+    return volatile
+
+
+def _shadow_violations(db) -> List[Violation]:
+    """Shadow retention: predecessors outlive uncommitted successors.
+
+    Checked on the live (pre-crash) stack: while any dependency group is
+    unresolved — some successor SSTable or its MANIFEST barrier is not
+    yet committed — every predecessor in the group must still exist,
+    because after a crash those predecessors may be the only complete
+    copy of the data.
+    """
+    tracker = getattr(db, "tracker", None)
+    if tracker is None:
+        return []
+    violations: List[Violation] = []
+    for group in tracker.unresolved_groups():
+        for ref in group.predecessors:
+            if not db.fs.exists(ref.path):
+                violations.append(
+                    Violation(
+                        "shadow-deleted-early",
+                        ref.path.encode(),
+                        f"predecessor {ref.number} missing while group "
+                        f"{group.group_id} has uncommitted successors",
+                    )
+                )
+    return violations
+
+
+def _apply_ops(
+    db,
+    ops: List[WorkloadOp],
+    stack: StorageStack,
+    oracle: Optional[DurabilityOracle] = None,
+    windows: Optional[List[Tuple[int, int]]] = None,
+) -> None:
+    """Apply ``ops`` to an already-open store.
+
+    Raises :class:`Interrupt` wherever a scheduled crash point fires;
+    the caller keeps its reference to ``db`` so crash-time state (the
+    memtables' volatile keys) stays inspectable.
+    """
+    t = stack.now
+    for op, key, value in ops:
+        if oracle is not None:
+            oracle.begin(op, key, value)
+        submit = t
+        if op == "put":
+            t = db.put(key, value, at=t)
+        else:
+            t = db.delete(key, at=t)
+        if oracle is not None:
+            oracle.ack()
+        if windows is not None:
+            windows.append((submit, t))
+
+
+def reference_run(
+    config: CrashMatrixConfig, ops: List[WorkloadOp]
+) -> Tuple[List[Tuple[str, int, int]], List[Tuple[int, int]], int]:
+    """The observed, crash-free execution: spans, op windows, end time."""
+    stack = config.build_stack(observe=True)
+    collector = SpanCollector()
+    stack.obs.add_span_listener(collector)
+    windows: List[Tuple[int, int]] = []
+    db = config.build_store(stack)
+    _apply_ops(db, ops, stack, windows=windows)
+    # run the tail out: trailing commits, reclamation, final writeback
+    end = stack.events.run_until(stack.now + 3 * config.commit_interval_ns)
+    db.close(stack.now)
+    return collector.spans, windows, max(end, stack.now)
+
+
+def discover_points(
+    config: CrashMatrixConfig,
+    spans: List[Tuple[str, int, int]],
+    windows: List[Tuple[int, int]],
+    end_ns: int,
+) -> List[CrashPoint]:
+    """Turn one reference run's observations into a bounded point set."""
+    rng = random.Random(config.seed ^ 0xC4A54)
+    candidates = points_from_spans(spans)
+    candidates += points_from_ops(windows)
+    candidates += random_points(
+        end_ns, rng, max(int(config.points * config.random_fraction), 1)
+    )
+    candidates = [p for p in candidates if p.time_ns > 0]
+    return select_points(candidates, config.points, rng)
+
+
+def run_point(
+    config: CrashMatrixConfig, ops: List[WorkloadOp], point: CrashPoint
+) -> PointResult:
+    """Replay the workload, crash at ``point``, recover and verify."""
+    stack = config.build_stack(observe=False)
+    interrupt = stack.events.schedule_interrupt(point.time_ns)
+    oracle = DurabilityOracle(sync_acked=MODES[config.mode][1])
+    db = None
+    try:
+        # the interrupt may fire inside the open path itself, in which
+        # case no operation ever began and the volatile set is empty
+        db = config.build_store(stack)
+        _apply_ops(db, ops, stack, oracle=oracle)
+        # the point may sit past the last ack, in the background tail
+        stack.events.run_until(point.time_ns)
+    except Interrupt:
+        pass
+    interrupt.cancel()
+
+    violations = _shadow_violations(db)
+    volatile = _volatile_keys(db, oracle.history)
+    crashed_at = stack.now
+    stack.crash()
+
+    recovery = "open"
+    repair_tail_drops = 0
+    recovered = None
+    try:
+        recovered = config.build_store(stack)
+    except Exception:
+        recovery = "repair"
+        try:
+            repair_result, _ = repair_db(
+                stack.fs,
+                config.dbname,
+                config.build_options(),
+                at=stack.now,
+            )
+            repair_tail_drops = repair_result.tail_drops
+            recovered = config.build_store(stack)
+        except Exception as error:  # recovery must never fail outright
+            violations.append(
+                Violation(
+                    "recovery-failed",
+                    b"",
+                    f"open and repair both failed: {error!r}",
+                )
+            )
+            recovery = "failed"
+
+    lost_tail = LostTailStats()
+    tail_drops = repair_tail_drops
+    recovered_records = 0
+    if recovered is not None:
+        tail_drops += recovered.stats.wal_tail_drops
+        recovered_records = recovered.stats.recovered_records
+        t = stack.now
+        view: Dict[bytes, Optional[bytes]] = {}
+        for key in sorted(oracle.history):
+            value, t = recovered.get(key, at=t)
+            view[key] = value
+        scanned: List[Tuple[bytes, bytes]] = []
+        iterator = recovered.iterate(t)
+        while iterator.valid:
+            scanned.append((iterator.key, iterator.value))
+            iterator.next()
+        oracle_violations, lost_tail = oracle.check(view, scanned, volatile)
+        violations.extend(oracle_violations)
+
+    return PointResult(
+        point=point,
+        crashed_at=crashed_at,
+        recovery=recovery,
+        wal_tail_drops=tail_drops,
+        violations=violations,
+        lost_tail=lost_tail,
+        recovered_records=recovered_records,
+    )
+
+
+def run_crash_matrix(config: CrashMatrixConfig) -> CrashMatrixReport:
+    """Discover points from a reference run, then explore every one."""
+    config.validate()
+    ops = build_workload(config)
+    spans, windows, end_ns = reference_run(config, ops)
+    points = discover_points(config, spans, windows, end_ns)
+    report = CrashMatrixReport(
+        mode=config.mode,
+        seed=config.seed,
+        num_ops=len(ops),
+        reference_end_ns=end_ns,
+        candidate_points=len(points),
+    )
+    for point in points:
+        report.results.append(run_point(config, ops, point))
+    return report

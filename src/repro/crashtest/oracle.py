@@ -1,0 +1,218 @@
+"""The durability oracle: what must a recovered store still contain?
+
+The oracle shadows the workload from the outside: every operation is
+recorded *before* it is submitted (``begin``) and marked complete when
+the store acknowledges it (``ack``). At crash time the harness tells the
+oracle which keys were still volatile (their newest version lived only
+in the memtables and the unsynced WAL); everything else is acked-durable
+and must survive recovery exactly.
+
+Invariants checked against the recovered store:
+
+1. **Durable exactness** — for every acked-durable key, the recovered
+   value equals the newest completed write; an acked-durable delete
+   stays deleted (no resurrection).
+2. **No fabrication** — a volatile key may be lost or revert to an older
+   version of itself, but may never return a value that was never
+   written for that key.
+3. **History subset** — scanning the whole recovered store, every
+   (key, value) pair must appear in the workload history.
+
+In ``sync_acked`` mode (the sync-everything baseline, where every write
+fsyncs the WAL before acking) the volatile set is ignored: every
+completed operation is durable by contract, and only the single
+operation in flight at the crash is uncertain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+PUT = "put"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken durability invariant."""
+
+    kind: str
+    key: bytes
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.key!r}: {self.detail}"
+
+
+@dataclass
+class LostTailStats:
+    """How much of the volatile tail the crash actually cost."""
+
+    volatile_keys: int = 0
+    lost: int = 0  # volatile keys that came back as not-found
+    reverted: int = 0  # volatile keys that reverted to an older version
+    intact: int = 0  # volatile keys that survived with their newest value
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "volatile_keys": self.volatile_keys,
+            "lost": self.lost,
+            "reverted": self.reverted,
+            "intact": self.intact,
+        }
+
+
+class DurabilityOracle:
+    """Tracks the acked-durable view of a keyspace through a workload."""
+
+    def __init__(self, sync_acked: bool = False) -> None:
+        self.sync_acked = sync_acked
+        #: every value ever written per key (for the no-fabrication check)
+        self.history: Dict[bytes, Set[bytes]] = {}
+        #: newest *completed* operation per key: value bytes, or None for
+        #: a completed delete
+        self.completed: Dict[bytes, Optional[bytes]] = {}
+        #: the single operation submitted but not yet acked
+        self.in_flight: Optional[Tuple[str, bytes, Optional[bytes]]] = None
+        self.ops_begun = 0
+        self.ops_acked = 0
+
+    # ------------------------------------------------------------------
+    # workload recording
+    # ------------------------------------------------------------------
+
+    def begin(self, op: str, key: bytes, value: Optional[bytes]) -> None:
+        """Record an operation the instant before it is submitted."""
+        if op not in (PUT, DELETE):
+            raise ValueError(f"unknown op {op!r}")
+        if op is PUT or op == PUT:
+            if value is None:
+                raise ValueError("put needs a value")
+            self.history.setdefault(key, set()).add(value)
+        else:
+            self.history.setdefault(key, set())
+        self.in_flight = (op, key, value)
+        self.ops_begun += 1
+
+    def ack(self) -> None:
+        """The store returned: the in-flight operation completed."""
+        if self.in_flight is None:
+            raise RuntimeError("ack without a begun operation")
+        op, key, value = self.in_flight
+        self.completed[key] = value if op == PUT else None
+        self.in_flight = None
+        self.ops_acked += 1
+
+    # ------------------------------------------------------------------
+    # crash-time views
+    # ------------------------------------------------------------------
+
+    def uncertain_keys(self, volatile: Iterable[bytes]) -> Set[bytes]:
+        """Keys whose newest completed version may legitimately be lost."""
+        uncertain = set() if self.sync_acked else set(volatile)
+        if self.in_flight is not None:
+            uncertain.add(self.in_flight[1])
+        return uncertain
+
+    def durable_view(
+        self, volatile: Iterable[bytes]
+    ) -> Dict[bytes, Optional[bytes]]:
+        """key -> required recovered value (None = must stay deleted)."""
+        uncertain = self.uncertain_keys(volatile)
+        return {
+            key: value
+            for key, value in self.completed.items()
+            if key not in uncertain
+        }
+
+    # ------------------------------------------------------------------
+    # invariant checking
+    # ------------------------------------------------------------------
+
+    def check(
+        self,
+        recovered: Dict[bytes, Optional[bytes]],
+        scanned: Iterable[Tuple[bytes, bytes]],
+        volatile: Iterable[bytes],
+    ) -> Tuple[List[Violation], LostTailStats]:
+        """Verify the recovered store; returns (violations, lost-tail stats).
+
+        ``recovered`` maps every key the workload ever touched to the
+        value the recovered store returns (None = not found).
+        ``scanned`` is a full iteration of the recovered store.
+        ``volatile`` is the crash-time volatile key set.
+        """
+        violations: List[Violation] = []
+        stats = LostTailStats()
+        volatile_set = set(volatile)
+        uncertain = self.uncertain_keys(volatile_set)
+        durable = self.durable_view(volatile_set)
+
+        for key, required in sorted(durable.items()):
+            got = recovered.get(key)
+            if required is None:
+                if got is not None:
+                    violations.append(
+                        Violation(
+                            "resurrected-delete",
+                            key,
+                            f"acked delete came back as {got!r}",
+                        )
+                    )
+            elif got is None:
+                violations.append(
+                    Violation(
+                        "lost-durable-key",
+                        key,
+                        f"acked-durable value {required!r} not found",
+                    )
+                )
+            elif got != required:
+                violations.append(
+                    Violation(
+                        "stale-durable-key",
+                        key,
+                        f"expected {required!r}, got {got!r}",
+                    )
+                )
+
+        for key in sorted(uncertain):
+            allowed = self.history.get(key, set())
+            got = recovered.get(key)
+            newest = self.completed.get(key)
+            stats.volatile_keys += 1
+            if got is None:
+                stats.lost += 1
+            elif got not in allowed:
+                violations.append(
+                    Violation(
+                        "fabricated-value",
+                        key,
+                        f"recovered {got!r} was never written",
+                    )
+                )
+            elif newest is not None and got == newest:
+                stats.intact += 1
+            else:
+                stats.reverted += 1
+
+        for key, value in scanned:
+            allowed = self.history.get(key)
+            if allowed is None:
+                violations.append(
+                    Violation(
+                        "unknown-key",
+                        key,
+                        "recovered store contains a key never written",
+                    )
+                )
+            elif value not in allowed:
+                violations.append(
+                    Violation(
+                        "fabricated-value",
+                        key,
+                        f"scan returned {value!r}, never written for this key",
+                    )
+                )
+        return violations, stats

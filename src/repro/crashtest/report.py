@@ -1,0 +1,91 @@
+"""Rendering for crash-matrix sweeps: human text and machine JSON."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.crashtest.harness import CrashMatrixReport
+
+PAYLOAD_SCHEMA = "repro.crashmatrix/1"
+
+
+def matrix_payload(reports: List[CrashMatrixReport]) -> Dict[str, Any]:
+    """A JSON-serialisable summary of one or more mode sweeps."""
+    modes = []
+    for report in reports:
+        modes.append(
+            {
+                "mode": report.mode,
+                "seed": report.seed,
+                "num_ops": report.num_ops,
+                "reference_end_ns": report.reference_end_ns,
+                "points_explored": report.points_explored,
+                "points_by_kind": report.points_by_kind,
+                "recovery_modes": report.recovery_modes,
+                "wal_tail_drops": report.wal_tail_drops,
+                "lost_tail": report.lost_tail_totals,
+                "violations": [
+                    {"kind": v.kind, "key": v.key.decode("latin-1"),
+                     "detail": v.detail}
+                    for v in report.violations
+                ],
+            }
+        )
+    return {
+        "schema": PAYLOAD_SCHEMA,
+        "modes": modes,
+        "total_points": sum(r.points_explored for r in reports),
+        "total_violations": sum(len(r.violations) for r in reports),
+    }
+
+
+def render_matrix(reports: List[CrashMatrixReport]) -> str:
+    """A terminal-friendly summary table plus any violations, verbatim."""
+    lines: List[str] = []
+    lines.append("crash matrix")
+    lines.append("=" * 64)
+    for report in reports:
+        recovery = report.recovery_modes
+        tail = report.lost_tail_totals
+        lines.append(
+            f"mode={report.mode} seed={report.seed} ops={report.num_ops} "
+            f"end={report.reference_end_ns}ns"
+        )
+        lines.append(
+            f"  points explored : {report.points_explored}"
+        )
+        kinds = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(report.points_by_kind.items())
+        )
+        lines.append(f"  by kind         : {kinds}")
+        lines.append(
+            f"  recovery        : open={recovery['open']} "
+            f"repair={recovery['repair']} failed={recovery['failed']}"
+        )
+        lines.append(
+            f"  wal tail drops  : {report.wal_tail_drops}"
+        )
+        lines.append(
+            f"  volatile tail   : keys={tail['volatile_keys']} "
+            f"lost={tail['lost']} reverted={tail['reverted']} "
+            f"intact={tail['intact']}"
+        )
+        lines.append(
+            f"  violations      : {len(report.violations)}"
+        )
+        for violation in report.violations[:20]:
+            lines.append(f"    !! {violation}")
+        if len(report.violations) > 20:
+            lines.append(
+                f"    ... and {len(report.violations) - 20} more"
+            )
+        lines.append("-" * 64)
+    total_violations = sum(len(r.violations) for r in reports)
+    total_points = sum(r.points_explored for r in reports)
+    verdict = "PASS" if total_violations == 0 else "FAIL"
+    lines.append(
+        f"{verdict}: {total_points} crash points, "
+        f"{total_violations} durability violations"
+    )
+    return "\n".join(lines)

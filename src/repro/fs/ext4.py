@@ -308,6 +308,32 @@ class Ext4:
     def stat_size(self, path: str) -> int:
         return self._get_inode(path).size
 
+    def durable_namespace(self) -> Dict[str, int]:
+        """The crash-surviving view of the namespace: path -> inode number.
+
+        A path appears here once the journal transaction covering its
+        create (or rename) has committed; an unlinked path stays until
+        the unlink's transaction commits. This is exactly the namespace
+        :meth:`crash` restores.
+        """
+        return dict(self._durable_namespace)
+
+    def durable_stat(self, path: str) -> Optional[int]:
+        """Crash-durable size of ``path``, or ``None`` if it would vanish.
+
+        The durable size is the prefix recorded by the last committed
+        journal transaction (``committed_size``) — the length the file
+        would be truncated to by a power failure right now. Paths whose
+        create never committed return ``None``: they do not survive.
+        """
+        ino = self._durable_namespace.get(path)
+        if ino is None:
+            return None
+        inode = self._inodes.get(ino)
+        if inode is None:
+            return 0
+        return inode.committed_size
+
     def _get_inode(self, path: str) -> Inode:
         ino = self._namespace.get(path)
         if ino is None:
@@ -488,6 +514,7 @@ class Ext4:
             self._arm_flusher(delay=self._flusher_busy_until - when)
             return
         self.flusher_runs += 1
+        span = self.obs.start_span("fs.writeback", when)
         budget = self.writeback_chunk_bytes
         t = when
         for ino in sorted(self._delalloc):
@@ -495,6 +522,8 @@ class Ext4:
                 break
             written, t = self.writeback_inode(ino, t, max_bytes=budget)
             budget -= written
+        span.annotate(bytes=self.writeback_chunk_bytes - budget)
+        span.end(t)
         self._flusher_busy_until = t
         if self._delalloc:
             self._arm_flusher(delay=max(t - self.clock.now, 1))

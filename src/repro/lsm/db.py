@@ -132,6 +132,9 @@ class DBStats:
     bytes_compacted_out: int = 0
     wal_records: int = 0
     recovered_records: int = 0
+    #: WAL files whose tail was corrupt/truncated and silently discarded
+    #: during recovery (the paper: "some pairs in the logs are broken")
+    wal_tail_drops: int = 0
     extras: Dict[str, int] = field(default_factory=dict)
 
     def reset(self) -> None:
@@ -160,6 +163,7 @@ class DBStats:
             "bytes_compacted_out": self.bytes_compacted_out,
             "wal_records": self.wal_records,
             "recovered_records": self.recovered_records,
+            "wal_tail_drops": self.wal_tail_drops,
             "extras": dict(self.extras),
         }
 
@@ -207,6 +211,9 @@ class DB:
         self._writer_free_at = 0
         #: sealed memtable awaiting its dump: (memtable, old_log, ready_at)
         self._pending_imm: Optional[Tuple[MemTable, int, int]] = None
+        #: a dump is executing; keeps the sealed memtable readable until
+        #: its L0 table is in the version, without re-dispatching the dump
+        self._imm_dump_running = False
         self._pending_seek: Optional[Tuple[int, FileMetaData, int]] = None
         self._snapshots: List[Snapshot] = []
         self.closed = False
@@ -300,6 +307,12 @@ class DB:
                 ):
                     t = self._compact_memtable(self.mem, t)
                     self.mem = MemTable()
+            if reader.dropped_tail:
+                # The log's tail was corrupt or truncated (a crash mid
+                # WAL-append): the discarded bytes are data loss and must
+                # be visible in recovery stats, not silent.
+                self.stats.wal_tail_drops += 1
+                self.obs.counter("wal.tail_dropped").inc()
         if not self.mem.empty:
             t = self._compact_memtable(self.mem, t)
             self.mem = MemTable()
@@ -352,7 +365,7 @@ class DB:
 
     def _pick_background_work(self) -> Optional[BackgroundJob]:
         """Next background job, LevelDB priority: dump, size, seek."""
-        if self._pending_imm is not None:
+        if self._pending_imm is not None and not self._imm_dump_running:
             imm, old_log, ready = self._pending_imm
             return ready, (
                 lambda start: self._minor_compaction_work(imm, old_log, start)
@@ -567,8 +580,15 @@ class DB:
     def _minor_compaction_work(
         self, imm: MemTable, old_log_number: int, at: int
     ) -> int:
+        # LevelDB drops imm_ only after the L0 table is in the version:
+        # while the dump runs, the sealed memtable must stay readable and
+        # must survive an abort (crash injection) intact.
+        self._imm_dump_running = True
+        try:
+            t = self._compact_memtable(imm, at)
+        finally:
+            self._imm_dump_running = False
         self._pending_imm = None
-        t = self._compact_memtable(imm, at)
         t = self.fs.unlink(log_file_name(self.dbname, old_log_number), at=t)
         return t
 

@@ -36,12 +36,15 @@ class RepairResult:
         self.logs_converted = 0
         self.records_recovered = 0
         self.last_sequence = 0
+        #: WALs whose corrupt/truncated tail was discarded while salvaging
+        self.tail_drops = 0
 
     def __repr__(self) -> str:
         return (
             f"RepairResult(tables={self.tables_salvaged}, "
             f"dropped={self.tables_dropped}, logs={self.logs_converted}, "
-            f"records={self.records_recovered})"
+            f"records={self.records_recovered}, "
+            f"tail_drops={self.tail_drops})"
         )
 
 
@@ -68,13 +71,16 @@ def repair_db(
         if kind == "log":
             logs.append(number)
         elif kind == "table":
-            meta, t = _salvage_table(fs, dbname, number, t)
+            # single pass per table: one open yields the metadata *and*
+            # the true max sequence (index keys are only a lower bound)
+            meta, max_seq, t = _salvage_table(fs, dbname, number, t)
             if meta is None:
                 result.tables_dropped += 1
                 t = fs.unlink(path, at=t)
             else:
                 tables.append((number, meta))
                 result.tables_salvaged += 1
+                result.last_sequence = max(result.last_sequence, max_seq)
         elif kind in ("manifest", "current", "temp"):
             t = fs.unlink(path, at=t)
 
@@ -87,6 +93,12 @@ def repair_db(
             for offset, (value_type, key, value) in enumerate(entries):
                 memtable.add(sequence + offset, value_type, key, value)
                 result.records_recovered += 1
+            result.last_sequence = max(
+                result.last_sequence, sequence + len(entries) - 1
+            )
+        if reader.dropped_tail:
+            result.tail_drops += 1
+            fs.obs.counter("wal.tail_dropped").inc()
         if not memtable.empty:
             max_number += 1
             meta, t = _build_table_from_memtable(
@@ -102,15 +114,6 @@ def repair_db(
     edit = VersionEdit()
     for number, meta in sorted(tables):
         edit.add_file(0, meta)
-        high = meta.largest
-        sequence = int.from_bytes(high[-8:], "little") >> 8
-        result.last_sequence = max(result.last_sequence, sequence)
-    # recompute true max sequence from table contents (index keys are
-    # a lower bound; full scan is fine at repair time)
-    for number, _ in tables:
-        table, t = Table.open(fs, table_file_name(dbname, number), at=t)
-        max_seq, t = table.max_sequence(t)
-        result.last_sequence = max(result.last_sequence, max_seq)
     versions.last_sequence = result.last_sequence
     t = versions.log_and_apply(edit, t)
     manifest = versions._manifest
@@ -121,13 +124,15 @@ def repair_db(
 
 def _salvage_table(
     fs: Ext4, dbname: str, number: int, at: int
-) -> Tuple[Optional[FileMetaData], int]:
+) -> Tuple[Optional[FileMetaData], int, int]:
+    """Open a table once; return (meta, max_sequence, t) or (None, 0, t)."""
     path = table_file_name(dbname, number)
     try:
         table, t = Table.open(fs, path, at=at)
         if not table.index.keys:
-            return None, t
+            return None, 0, t
         smallest, t = table.smallest_key(t)
+        max_seq, t = table.max_sequence(t)
         handle, t = fs.open(path, at=t)
         return (
             FileMetaData(
@@ -137,10 +142,11 @@ def _salvage_table(
                 largest=table.largest_key(),
                 ino=handle.ino,
             ),
+            max_seq,
             t,
         )
     except CorruptionError:
-        return None, at
+        return None, 0, at
 
 
 def _build_table_from_memtable(

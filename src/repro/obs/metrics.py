@@ -217,6 +217,9 @@ NULL_HISTOGRAM = _NullHistogram()
 #: fn() -> Dict[str, object]; a component-owned snapshot provider
 SnapshotSource = Callable[[], Dict[str, object]]
 
+#: fn(span) -> None; called for every finished span (roots and children)
+SpanListener = Callable[[Span], None]
+
 
 class MetricRegistry:
     """Instrument factory + span collector + snapshot aggregator.
@@ -243,6 +246,7 @@ class MetricRegistry:
         self._sources: Dict[str, SnapshotSource] = {}
         self.spans: List[Span] = []
         self.spans_dropped = 0
+        self._span_listeners: List[SpanListener] = []
         self.io_log: Optional[IOLog] = None
         self._io_device = None
 
@@ -290,11 +294,26 @@ class MetricRegistry:
 
     def _finish_span(self, span: Span) -> None:
         self.histogram(f"span.{span.name}_ns").record(span.duration_ns)
+        for listener in self._span_listeners:
+            listener(span)
         if span.parent is None:
             if len(self.spans) < self.max_spans:
                 self.spans.append(span)
             else:
                 self.spans_dropped += 1
+
+    def add_span_listener(self, listener: SpanListener) -> None:
+        """Call ``listener(span)`` for every span as it finishes.
+
+        Unlike the bounded ``spans`` collection, listeners see *every*
+        finished span (children included) as a stream — the crash-test
+        harness uses this to discover injection points without retaining
+        the spans themselves.
+        """
+        self._span_listeners.append(listener)
+
+    def remove_span_listener(self, listener: SpanListener) -> None:
+        self._span_listeners.remove(listener)
 
     def spans_named(self, name: str) -> List[Span]:
         return [s for s in self.spans if s.name == name]

@@ -18,6 +18,21 @@ from repro.sim.clock import VirtualClock
 Callback = Callable[[int], None]
 
 
+class Interrupt(Exception):
+    """Raised out of :meth:`EventQueue.run_until` by an interrupt event.
+
+    The crash-test harness uses this to stop a simulation at a chosen
+    virtual time: the exception unwinds through whatever foreground call
+    was advancing the clock, leaving the stack frozen in the state it had
+    when the interrupt's timestamp was reached. ``when`` is the scheduled
+    firing time.
+    """
+
+    def __init__(self, when: int) -> None:
+        super().__init__(f"simulation interrupted at {when}ns")
+        self.when = when
+
+
 class Event:
     """A scheduled callback. ``cancel()`` prevents a pending firing."""
 
@@ -71,6 +86,20 @@ class EventQueue:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         return self.schedule(self.clock.now + delay, callback)
+
+    def schedule_interrupt(self, when: int) -> Event:
+        """Schedule an :class:`Interrupt` to be raised at virtual time ``when``.
+
+        The exception propagates out of the ``run_until`` call that
+        reaches the timestamp, so the caller driving the simulation can
+        catch it and inspect (or crash) the frozen stack. One-shot:
+        firing removes the event; ``cancel()`` disarms it.
+        """
+
+        def fire(fire_time: int) -> None:
+            raise Interrupt(fire_time)
+
+        return self.schedule(when, fire)
 
     def next_event_time(self) -> Optional[int]:
         """Timestamp of the earliest pending event, or ``None``."""

@@ -1,0 +1,85 @@
+"""End-to-end tests for the crash-matrix harness (small budgets)."""
+
+import json
+
+import pytest
+
+from repro.crashtest import (
+    CrashMatrixConfig,
+    CrashPoint,
+    matrix_payload,
+    render_matrix,
+    run_crash_matrix,
+)
+from repro.crashtest.harness import build_workload, run_point
+
+
+def small_config(mode, **overrides):
+    defaults = dict(mode=mode, points=8, num_ops=40, seed=11)
+    defaults.update(overrides)
+    return CrashMatrixConfig(**defaults)
+
+
+@pytest.mark.parametrize("mode", ["noblsm", "sync"])
+def test_matrix_has_no_violations(mode):
+    report = run_crash_matrix(small_config(mode))
+    assert report.points_explored == 8
+    assert report.violations == []
+    assert report.recovery_modes["failed"] == 0
+    # every explored point recovered one way or the other
+    assert (
+        report.recovery_modes["open"] + report.recovery_modes["repair"] == 8
+    )
+
+
+def test_matrix_is_deterministic():
+    first = run_crash_matrix(small_config("noblsm"))
+    second = run_crash_matrix(small_config("noblsm"))
+    assert [r.point for r in first.results] == [r.point for r in second.results]
+    assert [r.recovery for r in first.results] == [
+        r.recovery for r in second.results
+    ]
+
+
+def test_point_in_background_tail_is_reachable():
+    """A crash point after the last ack still crashes (background work)."""
+    config = small_config("noblsm")
+    ops = build_workload(config)
+    result = run_point(config, ops, CrashPoint(10**12, "random"))
+    assert result.violations == []
+    assert result.crashed_at <= 10**12
+
+
+def test_point_during_open_is_survivable():
+    """Crashing inside the store's own open path must not wedge anything."""
+    config = small_config("noblsm")
+    ops = build_workload(config)
+    result = run_point(config, ops, CrashPoint(1, "random"))
+    assert result.violations == []
+
+
+def test_workload_is_deterministic_and_mixed():
+    config = small_config("noblsm", num_ops=200)
+    first = build_workload(config)
+    second = build_workload(config)
+    assert first == second
+    kinds = {op for op, _, _ in first}
+    assert kinds == {"put", "delete"}
+
+
+def test_config_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        CrashMatrixConfig(mode="paxos").validate()
+
+
+def test_render_and_payload_agree():
+    report = run_crash_matrix(small_config("sync", points=4))
+    text = render_matrix([report])
+    assert "PASS" in text
+    assert "mode=sync" in text
+    payload = matrix_payload([report])
+    json.dumps(payload)  # must be serialisable
+    assert payload["schema"] == "repro.crashmatrix/1"
+    assert payload["total_points"] == 4
+    assert payload["total_violations"] == 0
+    assert payload["modes"][0]["recovery_modes"]["failed"] == 0

@@ -1,0 +1,103 @@
+"""Unit tests for the durability oracle's invariants."""
+
+import pytest
+
+from repro.crashtest.oracle import DurabilityOracle
+
+
+def completed_put(oracle, key, value):
+    oracle.begin("put", key, value)
+    oracle.ack()
+
+
+def completed_delete(oracle, key):
+    oracle.begin("delete", key, None)
+    oracle.ack()
+
+
+def test_durable_key_must_survive_exactly():
+    oracle = DurabilityOracle()
+    completed_put(oracle, b"k", b"v1")
+    violations, _ = oracle.check({b"k": b"v1"}, [(b"k", b"v1")], volatile=[])
+    assert violations == []
+    violations, _ = oracle.check({b"k": None}, [], volatile=[])
+    assert [v.kind for v in violations] == ["lost-durable-key"]
+
+
+def test_durable_key_stale_value_flagged():
+    oracle = DurabilityOracle()
+    completed_put(oracle, b"k", b"v1")
+    completed_put(oracle, b"k", b"v2")
+    violations, _ = oracle.check({b"k": b"v1"}, [(b"k", b"v1")], volatile=[])
+    assert [v.kind for v in violations] == ["stale-durable-key"]
+
+
+def test_acked_delete_must_stay_deleted():
+    oracle = DurabilityOracle()
+    completed_put(oracle, b"k", b"v1")
+    completed_delete(oracle, b"k")
+    violations, _ = oracle.check({b"k": b"v1"}, [(b"k", b"v1")], volatile=[])
+    assert [v.kind for v in violations] == ["resurrected-delete"]
+    violations, _ = oracle.check({b"k": None}, [], volatile=[])
+    assert violations == []
+
+
+def test_volatile_key_may_be_lost_or_revert():
+    oracle = DurabilityOracle()
+    completed_put(oracle, b"k", b"v1")
+    completed_put(oracle, b"k", b"v2")
+    for got, field in ((None, "lost"), (b"v1", "reverted"), (b"v2", "intact")):
+        scanned = [(b"k", got)] if got else []
+        violations, stats = oracle.check({b"k": got}, scanned, volatile=[b"k"])
+        assert violations == []
+        assert getattr(stats, field) == 1
+        assert stats.volatile_keys == 1
+
+
+def test_volatile_key_must_not_fabricate():
+    oracle = DurabilityOracle()
+    completed_put(oracle, b"k", b"v1")
+    violations, _ = oracle.check({b"k": b"zz"}, [], volatile=[b"k"])
+    assert [v.kind for v in violations] == ["fabricated-value"]
+
+
+def test_in_flight_key_is_always_uncertain():
+    oracle = DurabilityOracle()
+    completed_put(oracle, b"k", b"v1")
+    oracle.begin("put", b"k", b"v2")  # crash mid-append: never acked
+    violations, _ = oracle.check({b"k": b"v2"}, [(b"k", b"v2")], volatile=[])
+    assert violations == []
+    violations, _ = oracle.check({b"k": b"v1"}, [(b"k", b"v1")], volatile=[])
+    assert violations == []
+
+
+def test_sync_mode_ignores_volatile_set():
+    oracle = DurabilityOracle(sync_acked=True)
+    completed_put(oracle, b"k", b"v1")
+    violations, _ = oracle.check({b"k": None}, [], volatile=[b"k"])
+    assert [v.kind for v in violations] == ["lost-durable-key"]
+
+
+def test_scan_rejects_unknown_keys_and_values():
+    oracle = DurabilityOracle()
+    completed_put(oracle, b"k", b"v1")
+    violations, _ = oracle.check(
+        {b"k": b"v1"}, [(b"k", b"v1"), (b"x", b"y")], volatile=[]
+    )
+    assert [v.kind for v in violations] == ["unknown-key"]
+    violations, _ = oracle.check(
+        {b"k": b"v1"}, [(b"k", b"v1"), (b"k", b"other")], volatile=[]
+    )
+    assert [v.kind for v in violations] == ["fabricated-value"]
+
+
+def test_ack_without_begin_raises():
+    oracle = DurabilityOracle()
+    with pytest.raises(RuntimeError):
+        oracle.ack()
+
+
+def test_begin_rejects_unknown_op():
+    oracle = DurabilityOracle()
+    with pytest.raises(ValueError):
+        oracle.begin("merge", b"k", b"v")

@@ -1,0 +1,101 @@
+"""Unit tests for crash-point discovery and selection."""
+
+import random
+
+from repro.crashtest.points import (
+    CrashPoint,
+    SpanCollector,
+    points_from_ops,
+    points_from_spans,
+    random_points,
+    select_points,
+)
+
+
+def test_commit_span_yields_three_points():
+    points = points_from_spans([("journal.commit", 100, 200)])
+    kinds = {p.kind: p.time_ns for p in points}
+    assert kinds == {
+        "commit-begin": 100,
+        "mid-commit": 150,
+        "commit-boundary": 201,
+    }
+
+
+def test_compaction_spans_yield_begin_and_mid():
+    points = points_from_spans(
+        [("db.compaction.minor", 10, 30), ("db.compaction.major", 100, 400)]
+    )
+    kinds = {p.kind: p.time_ns for p in points}
+    assert kinds == {
+        "minor-begin": 10,
+        "mid-minor": 20,
+        "major-begin": 100,
+        "mid-major": 250,
+    }
+
+
+def test_writeback_span_yields_mid_only():
+    points = points_from_spans([("fs.writeback", 0, 100)])
+    assert [(p.kind, p.time_ns) for p in points] == [("mid-writeback", 50)]
+
+
+def test_unknown_span_names_ignored():
+    assert points_from_spans([("db.put", 0, 10)]) == []
+
+
+def test_points_from_ops_skips_instant_acks():
+    points = points_from_ops([(100, 300), (400, 400)])
+    assert [(p.kind, p.time_ns) for p in points] == [("mid-wal-append", 200)]
+
+
+def test_random_points_in_range():
+    rng = random.Random(1)
+    points = random_points(1000, rng, 50)
+    assert len(points) == 50
+    assert all(0 < p.time_ns <= 1000 for p in points)
+    assert all(p.kind == "random" for p in points)
+
+
+def test_random_points_empty_run():
+    assert random_points(0, random.Random(1), 10) == []
+
+
+def test_select_dedups_timestamps():
+    candidates = [
+        CrashPoint(100, "mid-commit"),
+        CrashPoint(100, "random"),
+        CrashPoint(200, "random"),
+    ]
+    selected = select_points(candidates, 10, random.Random(0))
+    assert len(selected) == 2
+    assert {p.time_ns for p in selected} == {100, 200}
+
+
+def test_select_balances_kinds():
+    candidates = [CrashPoint(i, "mid-wal-append") for i in range(100)]
+    candidates += [CrashPoint(1000, "mid-major")]
+    selected = select_points(candidates, 10, random.Random(0))
+    # the lone major point must survive the flood of WAL points
+    assert any(p.kind == "mid-major" for p in selected)
+    assert len(selected) == 10
+
+
+def test_select_respects_budget_and_sorts():
+    candidates = [CrashPoint(i * 7, "random") for i in range(1, 50)]
+    selected = select_points(candidates, 5, random.Random(3))
+    assert len(selected) == 5
+    assert selected == sorted(selected, key=lambda p: p.time_ns)
+
+
+def test_span_collector_filters_names():
+    class FakeSpan:
+        def __init__(self, name):
+            self.name = name
+            self.start_ns = 1
+            self.end_ns = 2
+
+    collector = SpanCollector()
+    collector(FakeSpan("journal.commit"))
+    collector(FakeSpan("db.put"))
+    assert collector.spans == [("journal.commit", 1, 2)]

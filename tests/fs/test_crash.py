@@ -123,3 +123,66 @@ def test_repeated_crashes_are_stable(stack):
         assert stack.fs.exists("stable")
         g, t2 = stack.fs.open("stable", at=stack.now)
         assert g.read(0, 3, at=t2)[0] == b"abc"
+
+
+# ----------------------------------------------------------------------
+# durable-state introspection (predict_crash_report's public inputs)
+# ----------------------------------------------------------------------
+
+
+def test_durable_stat_tracks_committed_size(stack):
+    f, t = stack.fs.create("tracked", at=0)
+    assert stack.fs.durable_stat("tracked") is None  # create uncommitted
+    t = f.append(b"12345", at=t)
+    t = f.fsync(at=t)
+    assert stack.fs.durable_stat("tracked") == 5
+    f.append(b"tail", at=t)
+    assert stack.fs.durable_stat("tracked") == 5  # tail still volatile
+    assert stack.fs.durable_stat("missing") is None
+
+
+def test_durable_namespace_is_a_copy(stack):
+    f, t = stack.fs.create("a", at=0)
+    t = f.append(b"x", at=t)
+    t = f.fsync(at=t)
+    namespace = stack.fs.durable_namespace()
+    assert "a" in namespace
+    namespace.clear()  # mutating the copy must not touch the fs
+    assert "a" in stack.fs.durable_namespace()
+
+
+def test_prediction_matches_outcome(stack):
+    """predict_crash_report must agree with what Ext4.crash() then does."""
+    f, t = stack.fs.create("keep", at=0)
+    t = f.append(b"keep", at=t)
+    t = f.fsync(at=t)
+    g, t = stack.fs.create("lose", at=t)
+    t = g.append(b"lose", at=t)
+    report = crash_and_recover(stack.fs)
+    assert "keep" in report.surviving_paths
+    assert "lose" in report.lost_paths
+    assert stack.fs.exists("keep")
+    assert not stack.fs.exists("lose")
+
+
+def test_reappeared_file_reported_with_durable_size(stack):
+    f, t = stack.fs.create("ghost", at=0)
+    t = f.append(b"boo", at=t)
+    t = f.fsync(at=t)
+    t = stack.fs.unlink("ghost", at=t)
+    report = crash_and_recover(stack.fs)
+    assert report.reappeared_paths == {"ghost": 3}
+    assert stack.fs.exists("ghost")
+
+
+def test_committed_unlink_does_not_reappear(stack):
+    from repro.sim.clock import seconds as _seconds
+
+    f, t = stack.fs.create("gone", at=0)
+    t = f.append(b"x", at=t)
+    t = f.fsync(at=t)
+    t = stack.fs.unlink("gone", at=t)
+    stack.events.run_until(t + _seconds(6))
+    report = crash_and_recover(stack.fs)
+    assert report.reappeared_paths == {}
+    assert not stack.fs.exists("gone")

@@ -1,0 +1,71 @@
+"""Regression: a corrupt WAL tail is counted, not silently swallowed.
+
+``LogReader.dropped_tail`` always knew when it discarded a torn or
+corrupt tail, but neither the DB open path nor the repairer surfaced
+it — recovery looked identical whether the WAL replayed cleanly or
+lost records. These tests pin the propagation into ``DBStats``, the
+``wal.tail_dropped`` observability counter and ``RepairResult``.
+"""
+
+import pytest
+
+from repro.fs.stack import StackConfig, StorageStack
+from repro.lsm.db import DB
+from repro.lsm.filenames import parse_file_name
+from repro.lsm.options import Options
+from repro.lsm.repair import repair_db
+from repro.obs.metrics import MetricRegistry
+
+
+@pytest.fixture()
+def stack():
+    return StorageStack(StackConfig(obs=MetricRegistry()))
+
+
+def fill_and_corrupt_wal(stack, keys=8):
+    """Write a WAL, close the store, then smash garbage onto its tail."""
+    db = DB(stack, options=Options())
+    t = 0
+    for i in range(keys):
+        t = db.put(f"key{i}".encode(), f"value{i}".encode(), at=t)
+    t = db.close(t)
+    logs = [
+        path
+        for path in stack.fs.list_dir("db/")
+        if parse_file_name("db", path)[0] == "log"
+    ]
+    assert len(logs) == 1
+    handle, t = stack.fs.open(logs[0], at=t)
+    return handle.append(b"\xff" * 12, at=t)
+
+
+def test_open_counts_dropped_tail(stack):
+    fill_and_corrupt_wal(stack)
+    db = DB(stack, options=Options())
+    assert db.stats.wal_tail_drops == 1
+    assert db.stats.recovered_records == 8  # intact prefix fully replayed
+    value, _ = db.get(b"key7", at=stack.now)
+    assert value == b"value7"
+    assert stack.obs.counter("wal.tail_dropped").value == 1
+    assert db.stats.snapshot()["wal_tail_drops"] == 1
+
+
+def test_clean_open_counts_nothing(stack):
+    db = DB(stack, options=Options())
+    t = db.put(b"k", b"v", at=0)
+    t = db.close(t)
+    db = DB(stack, options=Options())
+    assert db.stats.wal_tail_drops == 0
+    assert stack.obs.counter("wal.tail_dropped").value == 0
+
+
+def test_repair_counts_dropped_tail(stack):
+    t = fill_and_corrupt_wal(stack)
+    result, t = repair_db(stack.fs, "db", Options(), at=t)
+    assert result.tail_drops == 1
+    assert result.records_recovered == 8
+    assert "tail_drops=1" in repr(result)
+    assert stack.obs.counter("wal.tail_dropped").value == 1
+    db = DB(stack, options=Options())
+    value, _ = db.get(b"key0", at=stack.now)
+    assert value == b"value0"

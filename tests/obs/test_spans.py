@@ -68,3 +68,25 @@ def test_null_span_absorbs_everything():
     assert NULL_SPAN.end(123) == 123
     assert NULL_SPAN.to_dict() == {}
     assert NULL_SPAN.duration_ns == 0
+
+
+def test_span_listeners_see_every_finished_span():
+    reg = MetricRegistry()
+    seen = []
+    reg.add_span_listener(seen.append)
+    root = reg.start_span("outer", at=0)
+    child = root.child("inner", 10)
+    child.end(20)
+    root.end(30)
+    # children fire too, in finish order — not just collected roots
+    assert [s.name for s in seen] == ["inner", "outer"]
+
+
+def test_removed_span_listener_stops_firing():
+    reg = MetricRegistry()
+    seen = []
+    reg.add_span_listener(seen.append)
+    reg.start_span("a", at=0).end(1)
+    reg.remove_span_listener(seen.append)
+    reg.start_span("b", at=2).end(3)
+    assert [s.name for s in seen] == ["a"]

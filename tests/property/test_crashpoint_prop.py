@@ -1,0 +1,54 @@
+"""Property test: arbitrary crash *virtual times*, not just op boundaries.
+
+The older property test (test_crash_prop) crashes between operations;
+this one drives the crashtest harness so the plug is pulled at any
+virtual time — mid-WAL-append, mid-commit, mid-compaction, inside the
+open path. For both stores, open-or-repair recovery must never lose an
+acked-durable key nor resurrect an acked delete.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crashtest import CrashMatrixConfig, CrashPoint
+from repro.crashtest.harness import build_workload, run_point
+
+
+def check_point(mode, seed, fraction):
+    config = CrashMatrixConfig(mode=mode, seed=seed, num_ops=60)
+    ops = build_workload(config)
+    # the sync run finishes in well under a second of virtual time; the
+    # noblsm horizon stretches past the last journal commit
+    horizon = 300_000_000 if mode == "sync" else 1_100_000_000
+    when = max(1, int(horizon * fraction))
+    result = run_point(config, ops, CrashPoint(when, "random"))
+    assert result.recovery in ("open", "repair")
+    assert result.violations == [], "\n".join(
+        str(v) for v in result.violations
+    )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_noblsm_random_crash_times(seed, fraction):
+    check_point("noblsm", seed, fraction)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_sync_baseline_random_crash_times(seed, fraction):
+    check_point("sync", seed, fraction)
