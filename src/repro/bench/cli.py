@@ -12,10 +12,14 @@ Usage::
     python -m repro.bench all
     python -m repro.bench crash-matrix [--points 120] [--seed 0]
                                        [--num 240] [--modes noblsm,sync]
+    python -m repro.bench parallelism  [--scale 2000] [--stores noblsm]
+                                       [--channels 1,4] [--threads 1,2]
 
 ``crash-matrix`` is the durability sweep, not a figure: it exits
 non-zero if any crash point violates a durability invariant, so CI can
-gate on it. ``all`` regenerates the figures only.
+gate on it. ``parallelism`` sweeps device channels x background
+compaction threads over compaction-bound fillrandom. ``all``
+regenerates the figures only.
 """
 
 from __future__ import annotations
@@ -156,6 +160,7 @@ def _run_crash_matrix(args) -> int:
             points=args.points,
             seed=args.seed,
             num_ops=args.num,
+            background_threads=args.bg_threads,
         )
         reports.append(run_crash_matrix(config))
     print(render_matrix(reports))
@@ -169,12 +174,64 @@ def _run_crash_matrix(args) -> int:
     return 0 if not any(r.violations for r in reports) else 1
 
 
+def _run_parallelism(args) -> int:
+    """The ``parallelism`` target: channels x threads sweep + JSON."""
+    from repro.bench.parallelism import (
+        DEFAULT_CHANNELS,
+        DEFAULT_SCALE,
+        DEFAULT_THREADS,
+        render_parallelism,
+        run_parallelism,
+    )
+    from repro.bench.report import write_results_json
+
+    channels = (
+        [int(c) for c in args.channels.split(",")]
+        if args.channels
+        else list(DEFAULT_CHANNELS)
+    )
+    threads = (
+        [int(t) for t in args.threads.split(",")]
+        if args.threads
+        else list(DEFAULT_THREADS)
+    )
+    store = args.stores.split(",")[0] if args.stores else "noblsm"
+    scale = args.scale or DEFAULT_SCALE
+    results = run_parallelism(
+        store=store,
+        scale=scale,
+        num_ops=args.num if args.num != 240 else 0,
+        channels=channels,
+        threads=threads,
+        seed=args.seed if args.seed else 1234,
+    )
+    print(render_parallelism(results))
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+        path = os.path.join(args.json, "parallelism.json")
+        write_results_json(
+            path,
+            results,
+            meta={
+                "target": "parallelism",
+                "store": store,
+                "scale": scale,
+                "channels": channels,
+                "threads": threads,
+            },
+        )
+        print(f"\nwrote {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the NobLSM paper's tables and figures.",
     )
-    parser.add_argument("target", choices=ALL_TARGETS + ["all", "crash-matrix"])
+    parser.add_argument(
+        "target", choices=ALL_TARGETS + ["all", "crash-matrix", "parallelism"]
+    )
     parser.add_argument(
         "--scale",
         type=float,
@@ -223,9 +280,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="crash-matrix: comma-separated modes (default noblsm,sync)",
     )
+    parser.add_argument(
+        "--bg-threads",
+        type=int,
+        default=1,
+        help="crash-matrix: background compaction threads (default 1)",
+    )
+    parser.add_argument(
+        "--channels",
+        type=str,
+        default=None,
+        help="parallelism: comma-separated device channel counts "
+             "(default 1,4)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=str,
+        default=None,
+        help="parallelism: comma-separated background thread counts "
+             "(default 1,2)",
+    )
     args = parser.parse_args(argv)
     if args.target == "crash-matrix":
         return _run_crash_matrix(args)
+    if args.target == "parallelism":
+        return _run_parallelism(args)
     stores = args.stores.split(",") if args.stores else None
     targets = ALL_TARGETS if args.target == "all" else [args.target]
     for target in targets:

@@ -44,6 +44,11 @@ class ScaledConfig:
     threads: int = 1
     seed: int = 1234
     observe: bool = False  # wire a MetricRegistry through the stack
+    #: device parallelism: NVMe-style submission channels (1 = the
+    #: paper's single-queue SATA PM883)
+    num_channels: int = 1
+    #: store parallelism: background compaction threads
+    background_threads: int = 1
 
     def __post_init__(self) -> None:
         if self.scale < 1:
@@ -60,6 +65,8 @@ class ScaledConfig:
         options.reclaim_interval_ns = max(
             int(seconds(PAPER_COMMIT_INTERVAL_S) / self.scale), 1000
         )
+        if self.background_threads != 1:
+            options.background_threads = self.background_threads
         return options
 
     def dataset_bytes(self) -> int:
@@ -89,6 +96,9 @@ class ScaledConfig:
                 writeback_chunk_bytes=max(int(16 * MIB / self.scale), 16 * 1024),
                 journal=journal,
                 obs=MetricRegistry() if self.observe else None,
+                num_channels=(
+                    self.num_channels if self.num_channels != 1 else None
+                ),
             )
         )
 

@@ -1,0 +1,116 @@
+"""Parallelism sweep: device channels x background compaction threads.
+
+The paper's PM883 is a single-queue SATA device and NobLSM runs one
+background thread — the seed's defaults. This sweep asks the NVMe-era
+question: what happens when the device exposes several submission
+channels (:class:`~repro.sim.ssd.SSD` multi-queue model) and the store
+schedules non-conflicting major compactions onto several background
+threads (:class:`~repro.lsm.compaction.CompactionSchedule`)?
+
+Each sweep point runs compaction-bound ``fillrandom`` under one
+``(num_channels, background_threads)`` pair and reports throughput,
+put tail latency, writer stalls, and the background scheduler's queue
+stall — the signal that shows *why* extra threads help (the compaction
+backlog stops waiting for a free thread) and why threads without
+channels do not (the jobs just fight over one device queue).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.db_bench import run_fillrandom
+from repro.bench.harness import BenchResult, ScaledConfig
+from repro.bench.report import format_table
+
+DEFAULT_SCALE = 2000.0
+DEFAULT_CHANNELS = (1, 4)
+DEFAULT_THREADS = (1, 2)
+
+
+def sweep_points(
+    channels: Sequence[int], threads: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """The grid, baseline (1, 1) first so speedups are well-defined."""
+    points = sorted(
+        {(c, t) for c in channels for t in threads},
+        key=lambda p: (p != (1, 1), p),
+    )
+    if (1, 1) not in points:
+        points.insert(0, (1, 1))
+    return points
+
+
+def run_parallelism(
+    store: str = "noblsm",
+    scale: float = DEFAULT_SCALE,
+    num_ops: int = 0,
+    value_size: int = 1024,
+    channels: Sequence[int] = DEFAULT_CHANNELS,
+    threads: Sequence[int] = DEFAULT_THREADS,
+    seed: int = 1234,
+) -> List[BenchResult]:
+    """Run the sweep; one observed fillrandom per grid point."""
+    results: List[BenchResult] = []
+    base_ns: Optional[int] = None
+    for num_channels, background_threads in sweep_points(channels, threads):
+        config = ScaledConfig(
+            scale=scale,
+            num_ops=num_ops,
+            value_size=value_size,
+            seed=seed,
+            observe=True,
+            num_channels=num_channels,
+            background_threads=background_threads,
+        )
+        result, stack, db = run_fillrandom(store, config)
+        if base_ns is None:
+            base_ns = result.virtual_ns
+        result.extras["num_channels"] = num_channels
+        result.extras["background_threads"] = background_threads
+        result.extras["bg_stall_ns"] = db.bg.stall_ns
+        result.extras["bg_jobs"] = db.bg.jobs
+        result.extras["speedup"] = (
+            base_ns / result.virtual_ns if result.virtual_ns else 0.0
+        )
+        busy = stack.ssd.stats.channel_busy_ns
+        if busy:
+            result.extras["channel_busy_max_ns"] = max(busy)
+            result.extras["channel_busy_min_ns"] = min(busy)
+        results.append(result)
+    return results
+
+
+def render_parallelism(results: Sequence[BenchResult]) -> str:
+    """Human table: one row per (channels, threads) point."""
+    rows = []
+    for result in results:
+        p99 = result.latency_us.get("put", {}).get("p99", 0.0)
+        rows.append(
+            [
+                int(result.extras["num_channels"]),
+                int(result.extras["background_threads"]),
+                round(result.us_per_op, 3),
+                round(p99, 1),
+                round(result.stall_ns / 1e6, 2),
+                round(result.extras["bg_stall_ns"] / 1e6, 2),
+                result.major_compactions,
+                round(result.extras["speedup"], 2),
+            ]
+        )
+    store = results[0].store if results else "?"
+    return format_table(
+        f"parallelism sweep: {store} fillrandom "
+        "(channels x background threads)",
+        [
+            "channels",
+            "threads",
+            "us_per_op",
+            "put_p99_us",
+            "stall_ms",
+            "bg_stall_ms",
+            "majors",
+            "speedup",
+        ],
+        rows,
+    )

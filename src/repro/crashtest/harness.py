@@ -62,6 +62,11 @@ class CrashMatrixConfig:
     commit_interval_ns: int = millis(20)
     reclaim_interval_ns: int = millis(20)
     dbname: str = "db"
+    #: background compaction threads (1 = the seed's serial scheduler);
+    #: >1 exercises the parallel scheduler under crash injection
+    background_threads: int = 1
+    #: device submission channels (1 = single-queue SATA)
+    num_channels: int = 1
 
     def validate(self) -> None:
         if self.mode not in MODES:
@@ -83,6 +88,8 @@ class CrashMatrixConfig:
             l0_compaction_trigger=2,
         )
         options.reclaim_interval_ns = self.reclaim_interval_ns
+        if self.background_threads != 1:
+            options.background_threads = self.background_threads
         if MODES[self.mode][1]:
             options.sync.sync_wal = True
         return options
@@ -95,6 +102,9 @@ class CrashMatrixConfig:
                     commit_interval_ns=self.commit_interval_ns
                 ),
                 obs=obs,
+                num_channels=(
+                    self.num_channels if self.num_channels != 1 else None
+                ),
             )
         )
 

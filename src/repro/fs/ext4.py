@@ -365,6 +365,7 @@ class Ext4:
         self._delalloc.discard(inode.ino)
         self.journal.add_ns_op(NsOp(NsOpKind.UNLINK, path, inode.ino))
         self.pagecache.drop_inode(inode.ino)
+        self.device.forget_stream(inode.ino)
         syscalls = getattr(self, "nob_syscalls", None)
         if syscalls is not None:
             syscalls.on_unlink(inode.ino)
@@ -446,7 +447,7 @@ class Ext4:
             inode.data.append(data)
         else:
             inode.data.append_zeros(nbytes)
-        done = self.device.write(nbytes, at, sequential=True)
+        done = self.device.write(nbytes, at, sequential=True, stream=inode.ino)
         inode.durable_len = inode.size
         self.journal.join(inode.ino, inode.durable_len)
         self.events.run_until(done)
@@ -475,7 +476,7 @@ class Ext4:
             delta = min(delta, max_bytes)
         t = at
         if delta > 0:
-            t = self.device.write(delta, t, sequential=True)
+            t = self.device.write(delta, t, sequential=True, stream=ino)
             inode.durable_len += delta
             if self._observe:
                 self._writeback_bytes.inc(delta)
@@ -487,7 +488,19 @@ class Ext4:
         return delta, t
 
     def writeback_all(self, at: int) -> int:
-        """Write back every delalloc-dirty inode (dirty-pressure path)."""
+        """Write back every delalloc-dirty inode (dirty-pressure path).
+
+        On a multi-channel device each inode's batch is submitted at
+        ``at`` and lands on its affinity channel, so independent files
+        drain in parallel; the single-channel path chains submissions,
+        which on one serial timeline produces the same completion time.
+        """
+        if self.device.num_channels > 1:
+            done = at
+            for ino in sorted(self._delalloc):
+                _, end = self.writeback_inode(ino, at)
+                done = max(done, end)
+            return done
         t = at
         for ino in sorted(self._delalloc):
             _, t = self.writeback_inode(ino, t)
@@ -517,11 +530,25 @@ class Ext4:
         span = self.obs.start_span("fs.writeback", when)
         budget = self.writeback_chunk_bytes
         t = when
-        for ino in sorted(self._delalloc):
-            if budget <= 0:
-                break
-            written, t = self.writeback_inode(ino, t, max_bytes=budget)
-            budget -= written
+        if self.device.num_channels > 1:
+            # fan the batch out: every inode's writeback is submitted at
+            # `when` and queues on its own affinity channel, so distinct
+            # files (a compaction output, the WAL, a fresh L0 table)
+            # drain concurrently instead of behind one another
+            for ino in sorted(self._delalloc):
+                if budget <= 0:
+                    break
+                written, end = self.writeback_inode(
+                    ino, when, max_bytes=budget
+                )
+                budget -= written
+                t = max(t, end)
+        else:
+            for ino in sorted(self._delalloc):
+                if budget <= 0:
+                    break
+                written, t = self.writeback_inode(ino, t, max_bytes=budget)
+                budget -= written
         span.annotate(bytes=self.writeback_chunk_bytes - budget)
         span.end(t)
         self._flusher_busy_until = t

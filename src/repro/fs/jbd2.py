@@ -230,7 +230,12 @@ class Journal:
             journal_bytes=journal_bytes,
             forced=forced,
         )
-        t = self.device.write(journal_bytes, start, sequential=True)
+        # the journal is one physically contiguous region: all commit
+        # blocks share one stream so they stay ordered on one channel;
+        # the FLUSH that follows is a cross-channel barrier regardless
+        t = self.device.write(
+            journal_bytes, start, sequential=True, stream="jbd2"
+        )
         t = self.device.flush(t)
         txn.commit_done_at = t
         self._last_commit_done = t

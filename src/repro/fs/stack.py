@@ -30,6 +30,10 @@ class StackConfig:
     ``obs`` injects a :class:`~repro.obs.metrics.MetricRegistry` into
     every layer of the stack; ``None`` (the default) means the shared
     no-op registry — recording disabled, zero cost.
+
+    ``num_channels`` (when set) overrides the device profile's channel
+    count — the convenient way to sweep device parallelism without
+    rebuilding profiles; ``None`` keeps whatever the profile says.
     """
 
     device: DeviceProfile = PM883
@@ -41,6 +45,7 @@ class StackConfig:
     writeback_chunk_bytes: int = Ext4.DEFAULT_WRITEBACK_CHUNK
     journal: JournalConfig = field(default_factory=JournalConfig)
     obs: Optional[MetricRegistry] = None
+    num_channels: Optional[int] = None
 
 
 class StorageStack:
@@ -58,7 +63,10 @@ class StorageStack:
         )
         self.clock = VirtualClock()
         self.events = EventQueue(self.clock)
-        self.ssd = SSD(self.clock, self.config.device, obs=self.obs)
+        device = self.config.device
+        if self.config.num_channels is not None:
+            device = device.with_channels(self.config.num_channels)
+        self.ssd = SSD(self.clock, device, obs=self.obs)
         self.sync_stats = SyncStats()
         self.pagecache = PageCache(
             self.config.pagecache_bytes, self.config.dirty_ratio

@@ -13,11 +13,20 @@ dump is always picked before size compactions, deep-level backlog only
 consumes thread time as the clock actually passes, and work left over at
 the end of a benchmark window stays unexecuted until someone waits for
 it — which is exactly how db_bench's timed window sees a real LevelDB.
+
+The executor attributes work per thread (``thread_jobs`` /
+``thread_busy_ns``) and accounts *queue stalls*: whenever a job's start
+is delayed past its ready time because every thread was busy, the wait
+is added to ``stall_ns`` (and, when an observability registry is wired
+in, to the ``bg.stall_ns`` counter and ``bg.queue_ns`` histogram). This
+is the scheduling-delay signal Luo & Carey tie to write stalls — a
+compaction backlog on too few threads shows up here before it shows up
+in user-visible latency.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 WorkFn = Callable[[int], int]  # start_time -> completion_time
 
@@ -25,12 +34,25 @@ WorkFn = Callable[[int], int]  # start_time -> completion_time
 class LazyExecutor:
     """N virtual worker threads, each a serial free-at timeline."""
 
-    def __init__(self, num_threads: int = 1) -> None:
+    def __init__(
+        self,
+        num_threads: int = 1,
+        obs=None,
+        name: str = "bg",
+    ) -> None:
         if num_threads < 1:
             raise ValueError(f"need at least one thread, got {num_threads}")
         self._free_at: List[int] = [0] * num_threads
         self.jobs = 0
         self.busy_ns = 0
+        self.stall_ns = 0
+        self.thread_jobs: List[int] = [0] * num_threads
+        self.thread_busy_ns: List[int] = [0] * num_threads
+        self._observe = obs is not None and obs.enabled
+        if self._observe:
+            obs.register_source(name, self.snapshot)
+            self._stall_counter = obs.counter("bg.stall_ns")
+            self._queue_hist = obs.histogram("bg.queue_ns")
 
     @property
     def num_threads(self) -> int:
@@ -42,14 +64,32 @@ class LazyExecutor:
     def latest_free(self) -> int:
         return max(self._free_at)
 
-    def execute(self, ready: int, work: WorkFn) -> int:
+    def free_at(self, thread: int) -> int:
+        """When one specific thread's timeline becomes free."""
+        return self._free_at[thread]
+
+    def next_start(self, ready: int) -> int:
+        """The start time a job submitted now with ``ready`` would get."""
+        return max(int(ready), self.earliest_free())
+
+    def execute(
+        self, ready: int, work: WorkFn, thread: Optional[int] = None
+    ) -> int:
         """Run ``work`` on the least-loaded thread; returns completion.
 
         The job starts no earlier than ``ready`` (when its trigger arose)
-        and no earlier than the thread's free time.
+        and no earlier than the thread's free time. Passing ``thread``
+        pins the job to a specific worker (schedulers that separate, say,
+        memtable dumps from major compactions use this).
         """
-        index = min(range(len(self._free_at)), key=self._free_at.__getitem__)
+        if thread is None:
+            index = min(
+                range(len(self._free_at)), key=self._free_at.__getitem__
+            )
+        else:
+            index = thread
         start = max(int(ready), self._free_at[index])
+        stall = start - int(ready)
         done = work(start)
         if done < start:
             raise RuntimeError(
@@ -60,7 +100,24 @@ class LazyExecutor:
         self._free_at[index] = max(self._free_at[index], done)
         self.jobs += 1
         self.busy_ns += done - start
+        self.thread_jobs[index] += 1
+        self.thread_busy_ns[index] += done - start
+        self.stall_ns += stall
+        if self._observe:
+            self._stall_counter.inc(stall)
+            self._queue_hist.record(stall)
         return done
 
     def idle_at(self, at: int) -> bool:
         return all(free <= at for free in self._free_at)
+
+    def snapshot(self) -> "dict[str, object]":
+        """Unified stats view (see :mod:`repro.sim.stats` contract)."""
+        return {
+            "threads": self.num_threads,
+            "jobs": self.jobs,
+            "busy_ns": self.busy_ns,
+            "stall_ns": self.stall_ns,
+            "thread_jobs": list(self.thread_jobs),
+            "thread_busy_ns": list(self.thread_busy_ns),
+        }

@@ -43,6 +43,14 @@ class Compaction:
     def input_bytes(self) -> int:
         return sum(f.file_size for f in self.all_inputs)
 
+    def user_range(self) -> "tuple[Optional[bytes], Optional[bytes]]":
+        """Smallest/largest user key across every input file."""
+        return _range_of(self.all_inputs)
+
+    def touched_levels(self) -> "frozenset[int]":
+        """Levels this compaction reads from or writes to."""
+        return frozenset((self.level, self.output_level))
+
     def is_trivial_move(self, options: Options) -> bool:
         """Move the single input down without rewriting it."""
         if len(self.inputs) != 1 or self.overlaps:
@@ -79,10 +87,16 @@ def _range_of(files: List[FileMetaData]) -> "tuple[Optional[bytes], Optional[byt
 
 
 def pick_size_compaction(
-    versions: VersionSet, options: Options
+    versions: VersionSet, options: Options, level: Optional[int] = None
 ) -> Optional[Compaction]:
-    """LevelDB's PickCompaction for the highest-scoring level."""
-    level, score = versions.pick_compaction_level()
+    """LevelDB's PickCompaction for the highest-scoring level.
+
+    Passing ``level`` picks at that specific level instead of the score
+    winner — the parallel scheduler uses this to try the second-best
+    level when the best one conflicts with an in-flight compaction.
+    """
+    if level is None:
+        level, score = versions.pick_compaction_level()
     if level is None:
         return None
     version = versions.current
@@ -173,6 +187,95 @@ def _setup_other_inputs(
             f.largest[:-8] for f in inputs
         )
     return compaction
+
+
+def ranges_overlap(
+    a_begin: Optional[bytes],
+    a_end: Optional[bytes],
+    b_begin: Optional[bytes],
+    b_end: Optional[bytes],
+) -> bool:
+    """Do two inclusive user-key ranges intersect? ``None`` = unbounded."""
+    if a_end is not None and b_begin is not None and a_end < b_begin:
+        return False
+    if b_end is not None and a_begin is not None and b_end < a_begin:
+        return False
+    return True
+
+
+@dataclass
+class InflightJob:
+    """One background job whose virtual-time span is still open."""
+
+    levels: "frozenset[int]"
+    begin: Optional[bytes]
+    end: Optional[bytes]
+    done: int
+
+
+class CompactionSchedule:
+    """In-flight spans of concurrent background compactions.
+
+    With several background threads, jobs execute host-sequentially but
+    their *virtual* spans overlap. Two compactions may overlap in
+    virtual time only when they are disjoint — different levels or
+    non-intersecting key ranges — because an overlapping pair would have
+    one job consuming (or deleting) SSTables the other is still writing
+    at that virtual moment. A major compaction's outputs always fall
+    inside its input key range, so "shared level AND intersecting range"
+    is exactly the hazard predicate.
+
+    The schedule answers one question at pick time: *may this compaction
+    start at time* ``at``? If not, :meth:`clearance` returns the virtual
+    time at which every conflicting in-flight job has completed — the
+    scheduler re-submits the job as ready at that time instead of
+    dropping it.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: List[InflightJob] = []
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def prune(self, at: int) -> None:
+        """Forget jobs whose spans closed at or before ``at``."""
+        self._jobs = [job for job in self._jobs if job.done > at]
+
+    def add(
+        self,
+        levels: "frozenset[int]",
+        begin: Optional[bytes],
+        end: Optional[bytes],
+        done: int,
+    ) -> None:
+        """Record one executed job's span (call with its completion)."""
+        self._jobs.append(InflightJob(levels, begin, end, done))
+
+    def clearance(
+        self,
+        levels: "frozenset[int]",
+        begin: Optional[bytes],
+        end: Optional[bytes],
+        at: int,
+    ) -> Optional[int]:
+        """Earliest conflict-free start for a job, or ``None`` if ``at`` is.
+
+        A conflict is an in-flight job, still open at ``at``, that shares
+        a level and intersects the key range. The returned time is the
+        max completion over all conflicting jobs — starting there, the
+        job observes every conflicting predecessor as finished.
+        """
+        clearance = None
+        for job in self._jobs:
+            if job.done <= at:
+                continue
+            if not (job.levels & levels):
+                continue
+            if not ranges_overlap(job.begin, job.end, begin, end):
+                continue
+            clearance = job.done if clearance is None else max(clearance, job.done)
+        return clearance
 
 
 class VersionKeeper:

@@ -33,6 +33,7 @@ from repro.fs.stack import StorageStack
 from repro.lsm.background import LazyExecutor
 from repro.lsm.compaction import (
     Compaction,
+    CompactionSchedule,
     OutputCutter,
     VersionKeeper,
     pick_seek_compaction,
@@ -204,7 +205,13 @@ class DB:
         )
         self.versions = VersionSet(self.fs, dbname, self.options)
         self.versions.validate_new_file = self._recovery_validator()
-        self.bg = LazyExecutor(self.options.background_threads)
+        self.bg = LazyExecutor(
+            self.options.background_threads,
+            obs=self.obs,
+            name=f"bg.{dbname}",
+        )
+        #: open virtual-time spans of concurrent compactions (threads > 1)
+        self._schedule = CompactionSchedule()
         self.mem = MemTable()
         self._wal: Optional[LogWriter] = None
         self._wal_number = 0
@@ -370,20 +377,114 @@ class DB:
             return ready, (
                 lambda start: self._minor_compaction_work(imm, old_log, start)
             )
-        compaction = self._pick_size_compaction()
-        if compaction is not None:
-            return 0, (
-                lambda start, c=compaction: self._major_compaction_work(c, start)
-            )
+        job = self._pick_major_job()
+        if job is not None:
+            return job
         if self._pending_seek is not None:
             level, meta, ready = self._pending_seek
             self._pending_seek = None
             seek = pick_seek_compaction(self.versions, self.options, level, meta)
             if seek is not None:
+                ready = self._deferred_ready(seek, ready)
                 return ready, (
                     lambda start, c=seek: self._major_compaction_work(c, start)
                 )
         return None
+
+    def _pick_major_job(self) -> Optional[BackgroundJob]:
+        """The next size compaction as a schedulable job.
+
+        Single-threaded stores keep LevelDB's exact behaviour: the one
+        highest-score compaction, ready immediately. With several
+        background threads the scheduler becomes conflict-aware: it
+        walks the candidate compactions best-score-first and dispatches
+        the first one that is *disjoint* from every in-flight compaction
+        (different levels or non-overlapping key ranges), so independent
+        majors overlap in virtual time on distinct threads. If every
+        candidate conflicts, the least-delayed one is dispatched with
+        its ready time pushed to the conflict's clearance — never
+        dropped, never reordered past the dependency.
+        """
+        if self.bg.num_threads == 1:
+            compaction = self._pick_size_compaction()
+            if compaction is None:
+                return None
+            return 0, (
+                lambda start, c=compaction: self._major_compaction_work(c, start)
+            )
+        start_hint = self.bg.next_start(0)
+        self._schedule.prune(start_hint)
+        best: Optional[Tuple[int, Compaction]] = None
+        for compaction in self._size_compaction_candidates():
+            begin, end = compaction.user_range()
+            clearance = self._schedule.clearance(
+                compaction.touched_levels(), begin, end, start_hint
+            )
+            if clearance is None:
+                return 0, (
+                    lambda start, c=compaction: self._major_compaction_work(
+                        c, start
+                    )
+                )
+            if best is None or clearance < best[0]:
+                best = (clearance, compaction)
+        if best is None:
+            return None
+        clearance, compaction = best
+        return clearance, (
+            lambda start, c=compaction: self._major_compaction_work(c, start)
+        )
+
+    def _size_compaction_candidates(self):
+        """Candidate size compactions in priority order (parallel picker).
+
+        Subclasses that override :meth:`_pick_size_compaction` keep
+        their policy — their single pick is the only candidate. The
+        default store yields one candidate per compaction-worthy level,
+        best score first, so the scheduler can fall through to the
+        second-best level when the best conflicts.
+        """
+        if type(self)._pick_size_compaction is not DB._pick_size_compaction:
+            compaction = self._pick_size_compaction()
+            if compaction is not None:
+                yield compaction
+            return
+        levels = sorted(
+            (
+                level
+                for level in range(self.options.num_levels - 1)
+                if self.versions.level_score(level) > 0.999999
+            ),
+            key=lambda level: (-self.versions.level_score(level), level),
+        )
+        for level in levels:
+            compaction = pick_size_compaction(
+                self.versions, self.options, level=level
+            )
+            if compaction is not None:
+                yield compaction
+
+    def _deferred_ready(self, compaction: Compaction, ready: int) -> int:
+        """Push a job's ready time past conflicting in-flight spans."""
+        if self.bg.num_threads == 1:
+            return ready
+        start_hint = self.bg.next_start(ready)
+        begin, end = compaction.user_range()
+        clearance = self._schedule.clearance(
+            compaction.touched_levels(), begin, end, start_hint
+        )
+        return ready if clearance is None else max(ready, clearance)
+
+    def _note_inflight(
+        self,
+        levels: "frozenset[int]",
+        begin: Optional[bytes],
+        end: Optional[bytes],
+        done: int,
+    ) -> None:
+        """Record an executed job's span for later conflict checks."""
+        if self.bg.num_threads > 1:
+            self._schedule.add(levels, begin, end, done)
 
     def _pick_size_compaction(self) -> Optional[Compaction]:
         """Hook: choose the next size-triggered compaction."""
@@ -429,8 +530,12 @@ class DB:
                 if compaction is None:
                     break
                 compaction.is_seek = False
+                ready = self._deferred_ready(compaction, t)
                 done = self.bg.execute(
-                    t, lambda start, c=compaction: self._major_compaction_work(c, start)
+                    ready,
+                    lambda start, c=compaction: self._major_compaction_work(
+                        c, start
+                    ),
                 )
                 t = max(t, done)
             t = self.wait_for_background(t)
@@ -630,6 +735,11 @@ class DB:
         edit = VersionEdit(log_number=self._wal_number)
         edit.add_file(level, meta)
         t = self.versions.log_and_apply(edit, t)
+        # Majors must not consume this table at a virtual time before the
+        # dump that produced it has completed.
+        self._note_inflight(
+            frozenset((level,)), meta.smallest[:-8], meta.largest[:-8], t
+        )
         span.annotate(
             table=number, level=level, output_bytes=size, entries=count
         )
@@ -647,7 +757,10 @@ class DB:
 
     def _major_compaction_work(self, compaction: Compaction, at: int) -> int:
         if compaction.is_trivial_move(self.options):
-            return self._trivial_move(compaction, at)
+            t = self._trivial_move(compaction, at)
+            begin, end = compaction.user_range()
+            self._note_inflight(compaction.touched_levels(), begin, end, t)
+            return t
         self.stats.major_compactions += 1
         if compaction.is_seek:
             self.stats.seek_compactions += 1
@@ -710,6 +823,8 @@ class DB:
             )
         t = self.versions.log_and_apply(edit, t)
         t = self._dispose_inputs(compaction, outputs, t)
+        begin, end = compaction.user_range()
+        self._note_inflight(compaction.touched_levels(), begin, end, t)
         span.annotate(
             output_bytes=sum(m.file_size for m in outputs),
             outputs=len(outputs),

@@ -34,6 +34,12 @@ class DeviceProfile:
     nanoseconds. ``flush_ns`` is the cost of a FLUSH (cache barrier)
     command; ``barrier_extra_ns`` models the ordering stall a sync imposes
     on the request queue beyond the flush itself.
+
+    ``num_channels`` is the device's internal parallelism: an NVMe-style
+    drive exposes several independent queues/channels, each its own busy
+    timeline (see :class:`~repro.sim.ssd.SSD`). The default of 1 keeps
+    the single serial timeline of the paper's SATA PM883 — every seed
+    result is produced at ``num_channels=1``.
     """
 
     name: str
@@ -44,6 +50,7 @@ class DeviceProfile:
     io_submit_ns: int
     flush_ns: int
     barrier_extra_ns: int
+    num_channels: int = 1
 
     def write_ns(self, nbytes: int, sequential: bool = True) -> int:
         """Device service time for a write of ``nbytes``."""
@@ -71,6 +78,25 @@ class DeviceProfile:
             io_submit_ns=max(int(self.io_submit_ns / factor), 1),
             flush_ns=max(int(self.flush_ns / factor), 1),
             barrier_extra_ns=max(int(self.barrier_extra_ns / factor), 1),
+        )
+
+    def with_channels(self, num_channels: int) -> "DeviceProfile":
+        """A copy of this profile with ``num_channels`` I/O channels.
+
+        Per-channel bandwidth is unchanged: more channels add capacity
+        for *independent* streams, they do not speed up one stream —
+        matching how NVMe queue pairs behave.
+        """
+        if num_channels < 1:
+            raise ValueError(
+                f"need at least one channel, got {num_channels}"
+            )
+        if num_channels == self.num_channels:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}-q{num_channels}",
+            num_channels=num_channels,
         )
 
     def scaled(self, factor: float) -> "DeviceProfile":

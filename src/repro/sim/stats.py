@@ -18,14 +18,21 @@ property: ``T.from_snapshot(x.snapshot()) == x``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from repro.sim.latency import GIB
 
 
 @dataclass
 class DeviceStats:
-    """Device-side accounting, updated by :class:`repro.sim.ssd.SSD`."""
+    """Device-side accounting, updated by :class:`repro.sim.ssd.SSD`.
+
+    ``channel_busy_ns`` attributes busy time to each channel of a
+    multi-queue device; it stays empty on single-channel devices so
+    their snapshots are identical to the pre-multi-queue schema. A FLUSH
+    barrier drains every channel, so its service time is charged to all
+    of them — ``sum(channel_busy_ns)`` can therefore exceed ``busy_ns``.
+    """
 
     bytes_written: int = 0
     bytes_read: int = 0
@@ -33,6 +40,7 @@ class DeviceStats:
     read_ios: int = 0
     flushes: int = 0
     busy_ns: int = 0
+    channel_busy_ns: List[int] = field(default_factory=list)
 
     def reset(self) -> None:
         self.bytes_written = 0
@@ -41,9 +49,10 @@ class DeviceStats:
         self.read_ios = 0
         self.flushes = 0
         self.busy_ns = 0
+        self.channel_busy_ns = [0] * len(self.channel_busy_ns)
 
     def snapshot(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "bytes_written": self.bytes_written,
             "bytes_read": self.bytes_read,
             "write_ios": self.write_ios,
@@ -51,6 +60,9 @@ class DeviceStats:
             "flushes": self.flushes,
             "busy_ns": self.busy_ns,
         }
+        if self.channel_busy_ns:
+            doc["channel_busy_ns"] = list(self.channel_busy_ns)
+        return doc
 
     @classmethod
     def from_snapshot(cls, data: Dict[str, object]) -> "DeviceStats":
@@ -61,6 +73,7 @@ class DeviceStats:
             read_ios=int(data.get("read_ios", 0)),
             flushes=int(data.get("flushes", 0)),
             busy_ns=int(data.get("busy_ns", 0)),
+            channel_busy_ns=[int(v) for v in data.get("channel_busy_ns", [])],
         )
 
 

@@ -1,0 +1,93 @@
+"""Determinism golden test: same seed + config => byte-identical JSON.
+
+The whole simulation is virtual-time deterministic, including the
+multi-queue device and the parallel compaction scheduler: two in-process
+runs of the same sweep must serialize to *byte-identical*
+``repro.bench/1`` documents. This is the lock that keeps the parallel
+paths honest — any hidden host-order or hash-order dependence shows up
+here as a diff.
+"""
+
+import json
+
+from repro.bench.harness import ScaledConfig
+from repro.bench.db_bench import run_fillrandom
+from repro.bench.parallelism import run_parallelism, sweep_points
+from repro.bench.report import RESULTS_SCHEMA, results_document
+
+
+def dump(results, meta):
+    return json.dumps(
+        results_document(results, meta), indent=2, sort_keys=True
+    )
+
+
+def test_sweep_points_are_deterministic():
+    assert sweep_points([4, 1], [2, 1]) == [
+        (1, 1),
+        (1, 2),
+        (4, 1),
+        (4, 2),
+    ]
+    assert sweep_points([4], [2])[0] == (1, 1)  # baseline injected
+
+
+def test_parallelism_sweep_json_is_byte_identical():
+    kwargs = dict(
+        store="noblsm",
+        scale=20000.0,
+        channels=(1, 4),
+        threads=(1, 2),
+        seed=321,
+    )
+    meta = {"target": "parallelism", "seed": 321}
+    first = dump(run_parallelism(**kwargs), meta)
+    second = dump(run_parallelism(**kwargs), meta)
+    assert first == second
+
+
+def test_parallelism_document_schema():
+    results = run_parallelism(
+        store="noblsm", scale=20000.0, channels=(4,), threads=(2,)
+    )
+    doc = results_document(results, meta={"target": "parallelism"})
+    assert doc["schema"] == RESULTS_SCHEMA
+    for row in doc["results"]:
+        extras = row["extras"]
+        assert {"num_channels", "background_threads", "bg_stall_ns",
+                "speedup"} <= set(extras)
+        assert "put" in row["latency_us"]
+
+
+def test_single_run_repeatable_across_instances():
+    """One observed parallel fillrandom, run twice, bit-for-bit equal —
+    down to the full stats record and latency percentiles."""
+    def run():
+        config = ScaledConfig(
+            scale=20000.0,
+            observe=True,
+            num_channels=4,
+            background_threads=2,
+            seed=77,
+        )
+        result, _, _ = run_fillrandom("noblsm", config)
+        return result
+
+    a, b = run(), run()
+    assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+        b.to_dict(), sort_keys=True
+    )
+
+
+def test_scaled_config_wires_parallelism_knobs():
+    config = ScaledConfig(scale=1000.0, num_channels=4, background_threads=2)
+    assert config.build_stack().ssd.num_channels == 4
+    assert config.build_options().background_threads == 2
+
+
+def test_scaled_config_defaults_stay_serial():
+    config = ScaledConfig(scale=1000.0)
+    stack = config.build_stack()
+    assert stack.ssd.num_channels == 1
+    assert "channel_busy_ns" not in stack.ssd.stats.snapshot()
+    assert config.build_options().background_threads == 1

@@ -113,3 +113,38 @@ def test_clear_wipes_everything(tracker):
     tracker.clear()
     assert tracker.outstanding_groups() == []
     assert tracker.shadow_numbers() == set()
+
+
+def test_out_of_order_successor_commits_keep_shadows(tracker):
+    """Parallel compactions finish out of order: the later-registered
+    group's successors commit first. Its predecessors must stay shadowed
+    (reclaim is consecutive) and the earlier group's late commit must
+    release both — deletion order never runs ahead of durability."""
+    g1 = tracker.register([ref(1)], [ref(10)])
+    g2 = tracker.register([ref(2)], [ref(20)])
+    committed = {1020}  # g2's successor commits before g1's
+    tracker.resolve(lambda ino: ino in committed)
+    assert g2.resolved and not g1.resolved
+    assert tracker.reclaimable() == []  # g1 blocks the prefix
+    assert tracker.shadow_numbers() == {1, 2}
+    committed.add(1010)
+    tracker.resolve(lambda ino: ino in committed)
+    assert [g.group_id for g in tracker.reclaimable()] == [
+        g1.group_id,
+        g2.group_id,
+    ]
+
+
+def test_out_of_order_consumption_settles_transitively(tracker):
+    """A successor consumed by a host-later group that resolves first
+    still settles its producer once the consumer resolves — even though
+    the file itself never commits (it was compacted away)."""
+    g1 = tracker.register([ref(1)], [ref(10)])
+    g2 = tracker.register([ref(10)], [ref(20)])  # consumes g1's output
+    committed = {1020}
+    tracker.resolve(lambda ino: ino in committed)
+    # g2 resolved via its committed successor; that settles ref(10) for
+    # g1 despite ino 1010 never committing
+    assert g2.resolved and g1.resolved
+    ready = tracker.reclaimable()
+    assert [g.group_id for g in ready] == [g1.group_id, g2.group_id]

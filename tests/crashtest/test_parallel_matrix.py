@@ -1,0 +1,73 @@
+"""Crash-matrix spot-check with the parallel compaction scheduler.
+
+Durability invariants must hold regardless of how many background
+threads race compactions or how many device channels the I/O fans out
+over — the dependency tracker's consecutive-reclaim rule is exactly what
+keeps out-of-order virtual completions crash-safe.
+"""
+
+import pytest
+
+from repro.crashtest import CrashMatrixConfig, run_crash_matrix
+
+
+def parallel_config(mode, **overrides):
+    defaults = dict(
+        mode=mode,
+        points=8,
+        num_ops=40,
+        seed=11,
+        background_threads=2,
+    )
+    defaults.update(overrides)
+    return CrashMatrixConfig(**defaults)
+
+
+@pytest.mark.parametrize("mode", ["noblsm", "sync"])
+def test_matrix_clean_with_two_background_threads(mode):
+    report = run_crash_matrix(parallel_config(mode))
+    assert report.points_explored == 8
+    assert report.violations == []
+    assert report.recovery_modes["failed"] == 0
+
+
+def test_matrix_clean_with_threads_and_channels():
+    report = run_crash_matrix(
+        parallel_config("noblsm", num_channels=4)
+    )
+    assert report.violations == []
+    assert report.recovery_modes["failed"] == 0
+
+
+def test_matrix_deterministic_with_parallel_scheduler():
+    first = run_crash_matrix(parallel_config("noblsm"))
+    second = run_crash_matrix(parallel_config("noblsm"))
+    assert [r.point for r in first.results] == [
+        r.point for r in second.results
+    ]
+    assert [r.recovery for r in first.results] == [
+        r.recovery for r in second.results
+    ]
+
+
+def test_single_thread_matrix_unchanged_by_new_knobs():
+    """background_threads=1 / num_channels=1 must reproduce the seed's
+    matrix exactly (the defaults are bit-identical)."""
+    base = CrashMatrixConfig(mode="noblsm", points=8, num_ops=40, seed=11)
+    knobbed = CrashMatrixConfig(
+        mode="noblsm",
+        points=8,
+        num_ops=40,
+        seed=11,
+        background_threads=1,
+        num_channels=1,
+    )
+    first = run_crash_matrix(base)
+    second = run_crash_matrix(knobbed)
+    assert [r.point for r in first.results] == [
+        r.point for r in second.results
+    ]
+    assert [r.recovery for r in first.results] == [
+        r.recovery for r in second.results
+    ]
+    assert first.violations == second.violations == []

@@ -79,3 +79,75 @@ def test_idle_at_tracks_all_threads():
     ex.execute(0, lambda start: start + 100)
     assert not ex.idle_at(50)
     assert ex.idle_at(100)
+
+
+# ----------------------------------------------------------------------
+# multi-thread scheduling: pinning, attribution, stalls
+# ----------------------------------------------------------------------
+
+
+def test_thread_pinning_overrides_least_loaded():
+    ex = LazyExecutor(2)
+    ex.execute(0, lambda start: start + 1000)  # thread 0 busy until 1000
+    starts = []
+
+    def job(start):
+        starts.append(start)
+        return start + 10
+
+    ex.execute(0, job, thread=0)  # pinned behind the busy thread
+    assert starts == [1000]
+    assert ex.free_at(0) == 1010
+    assert ex.free_at(1) == 0
+
+
+def test_per_thread_attribution():
+    ex = LazyExecutor(2)
+    ex.execute(0, lambda start: start + 100)  # thread 0
+    ex.execute(0, lambda start: start + 40)  # thread 1
+    ex.execute(0, lambda start: start + 5, thread=0)
+    assert ex.thread_jobs == [2, 1]
+    assert ex.thread_busy_ns == [105, 40]
+    assert ex.jobs == 3
+    assert ex.busy_ns == 145
+
+
+def test_stall_accounting_when_all_threads_busy():
+    ex = LazyExecutor(2)
+    ex.execute(0, lambda start: start + 100)
+    ex.execute(0, lambda start: start + 100)
+    assert ex.stall_ns == 0
+    # both threads busy until 100: a job ready at 30 stalls 70 ns
+    ex.execute(30, lambda start: start + 10)
+    assert ex.stall_ns == 70
+
+
+def test_next_start_previews_the_schedule():
+    ex = LazyExecutor(2)
+    ex.execute(0, lambda start: start + 100)
+    assert ex.next_start(0) == 0  # thread 1 still idle
+    ex.execute(0, lambda start: start + 60)
+    assert ex.next_start(0) == 60  # earliest-free thread
+    assert ex.next_start(500) == 500  # ready dominates
+
+
+def test_snapshot_includes_threads_and_stalls():
+    ex = LazyExecutor(2)
+    ex.execute(0, lambda start: start + 100)
+    snap = ex.snapshot()
+    assert snap["threads"] == 2
+    assert snap["thread_jobs"] == [1, 0]
+    assert snap["thread_busy_ns"] == [100, 0]
+    assert snap["stall_ns"] == 0
+
+
+def test_obs_wiring_records_stalls():
+    from repro.obs.metrics import MetricRegistry
+
+    obs = MetricRegistry()
+    ex = LazyExecutor(1, obs=obs, name="bg.test")
+    ex.execute(0, lambda start: start + 100)
+    ex.execute(20, lambda start: start + 10)  # stalls 80 ns
+    assert obs.counter("bg.stall_ns").value == 80
+    assert obs.find_histogram("bg.queue_ns").count == 2
+    assert "bg.test" in obs._sources

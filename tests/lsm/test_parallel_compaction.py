@@ -1,0 +1,147 @@
+"""Parallel compaction scheduling: conflict detection and stall relief."""
+
+import random
+
+import pytest
+
+from repro.fs.stack import StackConfig, StorageStack
+from repro.lsm.compaction import CompactionSchedule, ranges_overlap
+from repro.lsm.db import DB
+from repro.lsm.options import KIB, Options
+
+
+# ----------------------------------------------------------------------
+# range predicate
+# ----------------------------------------------------------------------
+
+
+def test_ranges_overlap_basic():
+    assert ranges_overlap(b"a", b"c", b"b", b"d")
+    assert ranges_overlap(b"a", b"c", b"c", b"d")  # inclusive touch
+    assert not ranges_overlap(b"a", b"b", b"c", b"d")
+    assert not ranges_overlap(b"c", b"d", b"a", b"b")
+
+
+def test_ranges_overlap_unbounded():
+    # None = unbounded side (an empty input set): always conflicts
+    assert ranges_overlap(None, None, b"a", b"b")
+    assert ranges_overlap(b"a", b"b", None, None)
+
+
+# ----------------------------------------------------------------------
+# schedule bookkeeping
+# ----------------------------------------------------------------------
+
+
+def test_clearance_requires_shared_level_and_range():
+    schedule = CompactionSchedule()
+    schedule.add(frozenset((1, 2)), b"a", b"m", done=1000)
+    # same levels, overlapping range: blocked until 1000
+    assert schedule.clearance(frozenset((2, 3)), b"k", b"z", 0) == 1000
+    # same levels, disjoint range: free
+    assert schedule.clearance(frozenset((1, 2)), b"n", b"z", 0) is None
+    # different levels, overlapping range: free
+    assert schedule.clearance(frozenset((3, 4)), b"a", b"m", 0) is None
+
+
+def test_clearance_ignores_closed_spans():
+    schedule = CompactionSchedule()
+    schedule.add(frozenset((1, 2)), b"a", b"m", done=1000)
+    assert schedule.clearance(frozenset((1, 2)), b"a", b"m", 1000) is None
+    assert schedule.clearance(frozenset((1, 2)), b"a", b"m", 999) == 1000
+
+
+def test_clearance_takes_max_over_conflicts():
+    schedule = CompactionSchedule()
+    schedule.add(frozenset((1, 2)), b"a", b"m", done=1000)
+    schedule.add(frozenset((2, 3)), b"c", b"f", done=2000)
+    assert schedule.clearance(frozenset((2,)), b"d", b"e", 0) == 2000
+
+
+def test_prune_drops_closed_spans():
+    schedule = CompactionSchedule()
+    schedule.add(frozenset((1, 2)), b"a", b"m", done=1000)
+    schedule.add(frozenset((1, 2)), b"a", b"m", done=3000)
+    schedule.prune(2000)
+    assert len(schedule) == 1
+
+
+# ----------------------------------------------------------------------
+# end-to-end: differential convergence + overlapping spans + stalls
+# ----------------------------------------------------------------------
+
+
+def build_db(threads, channels, write_buffer=32 * KIB):
+    stack = StorageStack(
+        StackConfig(num_channels=channels if channels != 1 else None)
+    )
+    options = Options(
+        write_buffer_size=write_buffer,
+        max_file_size=16 * KIB,
+        l0_compaction_trigger=4,
+        background_threads=threads,
+    )
+    return stack, DB(stack, options=options)
+
+
+def fill(db, stack, num_ops=6000, key_space=1500, seed=7):
+    rng = random.Random(seed)
+    t = stack.now
+    expect = {}
+    for i in range(num_ops):
+        key = f"k{rng.randrange(key_space):06d}".encode()
+        value = (f"v{i}-" * 6).encode()
+        expect[key] = value
+        t = db.put(key, value, t)
+    t = db.wait_for_background(t)
+    return expect, t
+
+
+@pytest.mark.parametrize("threads,channels", [(2, 1), (2, 4), (4, 4)])
+def test_parallel_store_converges_to_serial_contents(threads, channels):
+    _, serial_db = (pair := build_db(1, 1))
+    expect, t1 = fill(serial_db, pair[0])
+    stack, db = build_db(threads, channels)
+    expect2, t2 = fill(db, stack)
+    assert expect == expect2
+    for key, value in expect.items():
+        got, t2 = db.get(key, t2)
+        assert got == value
+        got, t1 = serial_db.get(key, t1)
+        assert got == value
+
+
+def test_two_threads_overlap_compactions_in_virtual_time():
+    stack, db = build_db(2, 4)
+    fill(db, stack)
+    snap = db.bg.snapshot()
+    # both threads did real work — spans overlapped, else one thread
+    # would have absorbed everything serially
+    assert min(snap["thread_jobs"]) > 0
+    assert min(snap["thread_busy_ns"]) > 0
+
+
+def test_parallel_threads_reduce_bg_stall():
+    """The write-stall regression gate: 1x1 backlog stalls, 4ch x 2thr
+    strictly less (ISSUE acceptance)."""
+    stack1, db1 = build_db(1, 1)
+    fill(db1, stack1)
+    assert db1.bg.stall_ns > 0
+    stack2, db2 = build_db(2, 4)
+    fill(db2, stack2)
+    assert db2.bg.stall_ns < db1.bg.stall_ns
+
+
+def test_single_thread_never_registers_spans():
+    stack, db = build_db(1, 1)
+    fill(db, stack, num_ops=2000)
+    assert len(db._schedule) == 0
+
+
+def test_multi_thread_registers_and_prunes_spans():
+    stack, db = build_db(2, 1)
+    fill(db, stack, num_ops=2000)
+    # spans were registered during the run and pruned as time passed
+    assert db.bg.jobs > 0
+    db._schedule.prune(db.bg.latest_free())
+    assert len(db._schedule) == 0

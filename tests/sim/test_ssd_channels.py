@@ -1,0 +1,203 @@
+"""Unit tests for the multi-queue SSD channel model."""
+
+import pytest
+
+from repro.obs.metrics import MetricRegistry
+from repro.sim.clock import VirtualClock
+from repro.sim.latency import MIB, PM883
+from repro.sim.ssd import SSD
+from repro.sim.stats import DeviceStats
+
+
+def quad():
+    return SSD(VirtualClock(), PM883.with_channels(4))
+
+
+# ----------------------------------------------------------------------
+# profile plumbing
+# ----------------------------------------------------------------------
+
+
+def test_with_channels_identity():
+    assert PM883.with_channels(1) is PM883
+
+
+def test_with_channels_renames_profile():
+    profile = PM883.with_channels(4)
+    assert profile.num_channels == 4
+    assert profile.name == "PM883-q4"
+    # latency parameters are untouched
+    assert profile.write_ns(MIB, True) == PM883.write_ns(MIB, True)
+
+
+def test_with_channels_rejects_zero():
+    with pytest.raises(ValueError):
+        PM883.with_channels(0)
+
+
+# ----------------------------------------------------------------------
+# single-channel equivalence (the seed's serial timeline)
+# ----------------------------------------------------------------------
+
+
+def test_single_channel_matches_seed_timeline():
+    """With one channel every op queues on one serial timeline."""
+    ssd = SSD(VirtualClock(), PM883)
+    first = ssd.write(MIB, at=0)
+    second = ssd.write(MIB, at=0, stream="other")
+    assert second == 2 * first  # stream hints change nothing at 1 channel
+    assert ssd.stats.channel_busy_ns == []
+    assert "channel_busy_ns" not in ssd.stats.snapshot()
+
+
+def test_single_channel_snapshot_unchanged_by_streams():
+    ssd = SSD(VirtualClock(), PM883)
+    ssd.write(MIB, at=0, stream=7)
+    ssd.forget_stream(7)  # no-op, must not blow up
+    assert ssd.stats.write_ios == 1
+
+
+# ----------------------------------------------------------------------
+# arbitration
+# ----------------------------------------------------------------------
+
+
+def test_unhinted_ios_fan_out_across_channels():
+    ssd = quad()
+    first = ssd.write(MIB, at=0)
+    second = ssd.write(MIB, at=0)
+    # both land on idle channels and overlap fully in virtual time
+    assert second == first
+    assert ssd.busy_until == first
+
+
+def test_least_loaded_wins_with_lowest_index_tiebreak():
+    ssd = quad()
+    ssd.write(MIB, at=0)  # channel 0
+    ssd.write(MIB, at=0)  # channel 1 (tie broken by index)
+    assert ssd.channel_busy_until(0) == ssd.channel_busy_until(1)
+    assert ssd.channel_busy_until(2) == 0
+    assert ssd.channel_busy_until(3) == 0
+
+
+def test_five_writes_on_four_channels_queue_once():
+    ssd = quad()
+    one = ssd.write(MIB, at=0)
+    for _ in range(3):
+        ssd.write(MIB, at=0)
+    fifth = ssd.write(MIB, at=0)
+    assert fifth == 2 * one  # queued behind the least-loaded channel
+
+
+def test_channel_busy_accounting():
+    ssd = quad()
+    done = ssd.write(MIB, at=0)
+    ssd.write(MIB, at=0)
+    busy = ssd.stats.channel_busy_ns
+    assert busy[0] == done and busy[1] == done
+    assert busy[2] == 0 and busy[3] == 0
+    assert sum(busy) == ssd.stats.busy_ns
+
+
+# ----------------------------------------------------------------------
+# stream affinity
+# ----------------------------------------------------------------------
+
+
+def test_stream_sticks_to_its_first_channel():
+    ssd = quad()
+    first = ssd.write(MIB, at=0, stream="a")  # channel 0
+    # channel 0 is now the *most* loaded, but the stream stays there
+    second = ssd.write(MIB, at=0, stream="a")
+    assert second == 2 * first
+    assert ssd.channel_busy_until(1) == 0
+
+
+def test_distinct_streams_use_distinct_channels():
+    ssd = quad()
+    a = ssd.write(MIB, at=0, stream="a")
+    b = ssd.write(MIB, at=0, stream="b")
+    assert a == b  # parallel service, no queueing
+
+
+def test_forget_stream_releases_affinity():
+    ssd = quad()
+    ssd.write(MIB, at=0, stream="a")  # pins stream "a" to channel 0
+    ssd.forget_stream("a")
+    done = ssd.write(MIB, at=0, stream="a")
+    # re-placed by least-loaded: channel 1, so no queueing behind ch 0
+    assert done == ssd.channel_busy_until(1)
+    assert ssd.channel_busy_until(0) == done
+
+
+# ----------------------------------------------------------------------
+# FLUSH barrier
+# ----------------------------------------------------------------------
+
+
+def test_flush_drains_every_channel():
+    ssd = quad()
+    ssd.write(MIB, at=0, stream="a")
+    slow = ssd.write(10 * MIB, at=0, stream="b")
+    done = ssd.flush(at=0)
+    assert done == slow + PM883.flush_ns + PM883.barrier_extra_ns
+    # all channels blocked until the barrier completes
+    assert all(ssd.channel_busy_until(c) == done for c in range(4))
+
+
+def test_flush_charged_to_every_channel_busy():
+    ssd = quad()
+    done = ssd.flush(at=0)
+    assert ssd.stats.channel_busy_ns == [done] * 4
+    # busy_ns counts the flush once; the per-channel list can sum higher
+    assert ssd.stats.busy_ns == done
+
+
+def test_io_after_flush_waits_for_barrier():
+    ssd = quad()
+    barrier = ssd.flush(at=0)
+    done = ssd.write(MIB, at=0)
+    assert done > barrier
+
+
+# ----------------------------------------------------------------------
+# stats / obs plumbing
+# ----------------------------------------------------------------------
+
+
+def test_device_stats_snapshot_roundtrip_with_channels():
+    ssd = quad()
+    ssd.write(MIB, at=0)
+    ssd.read(MIB, at=0)
+    ssd.flush(at=0)
+    snap = ssd.stats.snapshot()
+    assert snap["channel_busy_ns"] == ssd.stats.channel_busy_ns
+    assert DeviceStats.from_snapshot(snap) == ssd.stats
+
+
+def test_reset_clears_channels_and_streams():
+    ssd = quad()
+    ssd.write(MIB, at=0, stream="a")
+    ssd.reset()
+    assert ssd.busy_until == 0
+    assert ssd.stats.channel_busy_ns == [0] * 4
+    assert ssd._streams == {}
+
+
+def test_per_channel_queue_histograms_only_when_multiqueue():
+    obs = MetricRegistry()
+    SSD(VirtualClock(), PM883.with_channels(2), obs=obs)
+    assert obs.find_histogram("device.ch0.queue_ns") is not None
+    obs_single = MetricRegistry()
+    SSD(VirtualClock(), PM883, obs=obs_single)
+    assert obs_single.find_histogram("device.ch0.queue_ns") is None
+
+
+def test_queue_histogram_records_per_channel_wait():
+    obs = MetricRegistry()
+    ssd = SSD(VirtualClock(), PM883.with_channels(2), obs=obs)
+    ssd.write(MIB, at=0, stream="a")
+    ssd.write(MIB, at=0, stream="a")  # queues behind itself on channel 0
+    hist = obs.find_histogram("device.ch0.queue_ns")
+    assert hist.count == 2
+    assert hist.max > 0
