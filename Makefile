@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures clean
+.PHONY: install test bench bench-full figures refresh-baselines perf-gate clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,25 @@ bench-full:
 
 figures:
 	$(PYTHON) -m repro.bench all
+
+# Re-record the perf-gate baselines after a deliberate behaviour change.
+# The simulation is deterministic, so these only move when the code does;
+# commit the refreshed JSONs together with the change that explains them.
+refresh-baselines:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli fillrandom --observe --json benchmarks/baselines
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli parallelism --json benchmarks/baselines
+
+# Run the same comparison CI runs: current numbers vs recorded baselines.
+perf-gate:
+	rm -rf results/perf-gate && mkdir -p results/perf-gate
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli fillrandom --observe \
+		--trace-out results/perf-gate/fillrandom-trace.json \
+		--json results/perf-gate
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli parallelism --json results/perf-gate
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli compare \
+		benchmarks/baselines/fillrandom.json results/perf-gate/fillrandom.json
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli compare \
+		benchmarks/baselines/parallelism.json results/perf-gate/parallelism.json
 
 artifacts: test bench
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

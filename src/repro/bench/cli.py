@@ -14,12 +14,20 @@ Usage::
                                        [--num 240] [--modes noblsm,sync]
     python -m repro.bench parallelism  [--scale 2000] [--stores noblsm]
                                        [--channels 1,4] [--threads 1,2]
+    python -m repro.bench fillrandom   [--observe] [--trace-out t.json]
+                                       [--scale 2000] [--stores noblsm]
+    python -m repro.bench compare BASELINE.json CURRENT.json
+                                       [--thresholds us_per_op=0.1,...]
 
 ``crash-matrix`` is the durability sweep, not a figure: it exits
 non-zero if any crash point violates a durability invariant, so CI can
 gate on it. ``parallelism`` sweeps device channels x background
-compaction threads over compaction-bound fillrandom. ``all``
-regenerates the figures only.
+compaction threads over compaction-bound fillrandom. ``fillrandom``
+runs one store once, optionally with observability (``--observe``) and
+causal tracing (``--trace-out`` writes a Perfetto-loadable Chrome
+trace and prints the critical-path attribution table). ``compare``
+diffs two ``repro.bench/1`` JSONs and exits non-zero on a regression —
+the CI perf gate. ``all`` regenerates the figures only.
 """
 
 from __future__ import annotations
@@ -224,13 +232,121 @@ def _run_parallelism(args) -> int:
     return 0
 
 
+def _run_fillrandom(args) -> int:
+    """The ``fillrandom`` target: one store, optional trace + JSON."""
+    from repro.bench.db_bench import run_fillrandom
+    from repro.bench.harness import ScaledConfig
+    from repro.bench.report import (
+        format_breakdown_table,
+        format_latency_table,
+        write_results_json,
+    )
+    from repro.obs.critical_path import analyze_write_path, render_critical_path
+    from repro.obs.trace import write_chrome_trace
+
+    trace = args.trace_out is not None
+    store = args.stores.split(",")[0] if args.stores else "noblsm"
+    scale = args.scale or 2000.0
+    seed = args.seed if args.seed else 1234
+    channels = int(args.channels.split(",")[0]) if args.channels else 1
+    threads = int(args.threads.split(",")[0]) if args.threads else 1
+    config = ScaledConfig(
+        scale=scale,
+        num_ops=args.num if args.num != 240 else 0,
+        seed=seed,
+        observe=args.observe or trace,
+        trace=trace,
+        num_channels=channels,
+        background_threads=threads,
+    )
+    result, stack, db = run_fillrandom(store, config)
+    print(
+        f"fillrandom {store}: {result.num_ops} ops, "
+        f"{result.us_per_op:.3f} us/op, {result.sync_calls} syncs, "
+        f"{result.stall_ns / 1e6:.2f} ms stalled"
+    )
+    if stack.obs.enabled:
+        print()
+        print(format_latency_table([result]))
+        print()
+        print(format_breakdown_table([result]))
+    if trace:
+        report = analyze_write_path(stack.obs)
+        print()
+        print(render_critical_path(report, stack.obs))
+        doc = write_chrome_trace(
+            args.trace_out,
+            stack.obs.tracer,
+            meta={
+                "target": "fillrandom",
+                "store": store,
+                "scale": scale,
+                "seed": seed,
+                "num_ops": result.num_ops,
+                "device": stack.ssd.profile.describe(),
+            },
+        )
+        print(
+            f"\nwrote {args.trace_out} "
+            f"({len(doc['traceEvents'])} events; open in ui.perfetto.dev)"
+        )
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+        path = os.path.join(args.json, "fillrandom.json")
+        write_results_json(
+            path,
+            [result],
+            meta={
+                "target": "fillrandom",
+                "store": store,
+                "scale": scale,
+                "seed": seed,
+            },
+        )
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _run_compare(args) -> int:
+    """The ``compare`` target: perf gate over two repro.bench/1 files."""
+    from repro.bench.compare import (
+        compare_documents,
+        parse_thresholds,
+        render_compare,
+    )
+
+    if len(args.paths) != 2:
+        print(
+            "usage: python -m repro.bench compare BASELINE.json CURRENT.json",
+            file=sys.stderr,
+        )
+        return 2
+    base_path, cur_path = args.paths
+    with open(base_path) as fh:
+        base_doc = json.load(fh)
+    with open(cur_path) as fh:
+        cur_doc = json.load(fh)
+    report = compare_documents(
+        base_doc, cur_doc, thresholds=parse_thresholds(args.thresholds)
+    )
+    print(render_compare(report))
+    return 0 if report.passed else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the NobLSM paper's tables and figures.",
     )
     parser.add_argument(
-        "target", choices=ALL_TARGETS + ["all", "crash-matrix", "parallelism"]
+        "target",
+        choices=ALL_TARGETS
+        + ["all", "crash-matrix", "parallelism", "fillrandom", "compare"],
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="compare: BASELINE.json CURRENT.json",
     )
     parser.add_argument(
         "--scale",
@@ -300,11 +416,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="parallelism: comma-separated background thread counts "
              "(default 1,2)",
     )
+    parser.add_argument(
+        "--observe",
+        action="store_true",
+        help="fillrandom: wire a MetricRegistry through the stack",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="fillrandom: write a Chrome trace-event JSON (implies "
+             "--observe) and print the critical-path table",
+    )
+    parser.add_argument(
+        "--thresholds",
+        type=str,
+        default=None,
+        help="compare: per-metric threshold overrides, e.g. "
+             "us_per_op=0.1,stall_ns=0.5",
+    )
     args = parser.parse_args(argv)
     if args.target == "crash-matrix":
         return _run_crash_matrix(args)
     if args.target == "parallelism":
         return _run_parallelism(args)
+    if args.target == "fillrandom":
+        return _run_fillrandom(args)
+    if args.target == "compare":
+        return _run_compare(args)
     stores = args.stores.split(",") if args.stores else None
     targets = ALL_TARGETS if args.target == "all" else [args.target]
     for target in targets:

@@ -20,8 +20,10 @@ from repro.fs.jbd2 import JournalConfig
 from repro.fs.stack import StackConfig, StorageStack
 from repro.lsm.db import DB
 from repro.lsm.options import MIB, Options
+from repro.obs.critical_path import analyze_write_path
 from repro.obs.export import layer_breakdown, registry_document
 from repro.obs.metrics import MetricRegistry
+from repro.obs.trace import Tracer
 from repro.sim.clock import seconds, to_micros, to_seconds
 from repro.sim.latency import GIB, PM883
 
@@ -44,6 +46,8 @@ class ScaledConfig:
     threads: int = 1
     seed: int = 1234
     observe: bool = False  # wire a MetricRegistry through the stack
+    #: attach a causal Tracer to the registry (implies observe)
+    trace: bool = False
     #: device parallelism: NVMe-style submission channels (1 = the
     #: paper's single-queue SATA PM883)
     num_channels: int = 1
@@ -86,6 +90,13 @@ class ScaledConfig:
             int(self.pagecache_gb * GIB / self.scale),
             30 * self.dataset_bytes(),
         )
+        obs = None
+        if self.observe or self.trace:
+            obs = MetricRegistry()
+            if self.trace:
+                # attach before the stack is built so every component
+                # (DB caches its tracer at init) sees it
+                Tracer(obs)
         return StorageStack(
             StackConfig(
                 device=PM883.time_compressed(self.scale),
@@ -95,7 +106,7 @@ class ScaledConfig:
                 ),
                 writeback_chunk_bytes=max(int(16 * MIB / self.scale), 16 * 1024),
                 journal=journal,
-                obs=MetricRegistry() if self.observe else None,
+                obs=obs,
                 num_channels=(
                     self.num_channels if self.num_channels != 1 else None
                 ),
@@ -134,6 +145,9 @@ class BenchResult:
     breakdown_ns: Dict[str, int] = field(default_factory=dict)
     #: full ``repro.obs/1`` export document; ``None`` unless observed.
     obs_document: "Optional[Dict[str, object]]" = None
+    #: critical-path attribution (CriticalPathReport.to_dict());
+    #: ``None`` unless the run was traced.
+    critical_path: "Optional[Dict[str, object]]" = None
 
     @property
     def us_per_op(self) -> float:
@@ -183,6 +197,8 @@ class BenchResult:
             }
         if self.breakdown_ns:
             data["breakdown_ns"] = dict(self.breakdown_ns)
+        if self.critical_path:
+            data["critical_path"] = dict(self.critical_path)
         return data
 
 
@@ -212,6 +228,10 @@ def collect_result(
     )
     obs = stack.obs
     if obs.enabled:
+        if obs.tracer is not None:
+            report = analyze_write_path(obs)
+            if report.count:
+                result.critical_path = report.to_dict()
         result.breakdown_ns = layer_breakdown(obs)
         result.latency_us = latency_percentiles(obs)
         result.obs_document = registry_document(

@@ -236,12 +236,29 @@ class NobLSM(DB):
 
         self.tracker.resolve(committed)
         for group in self.tracker.reclaimable():
+            span = None
+            if self._tracer is not None:
+                span = self.obs.start_span(
+                    "db.retire",
+                    t,
+                    group=group.group_id,
+                    predecessors=len(group.predecessors),
+                    successors=len(group.successors),
+                )
+                # close the causal chain: the commits that made the
+                # successors durable flow into this retirement
+                for ref in group.successors:
+                    commit_span = self._tracer.commit_span_of(ref.ino)
+                    if commit_span is not None:
+                        self._tracer.link(commit_span, span, name="retire")
             for ref in group.predecessors:
                 self.table_cache.evict(ref.number)
                 if self.fs.exists(ref.path):
                     t = self.fs.unlink(ref.path, at=t)
                     self.shadows_deleted += 1
             self.tracker.mark_reclaimed(group)
+            if span is not None:
+                span.end(t)
         return t
 
     @property

@@ -31,6 +31,7 @@ from repro.lsm.db import DB
 from repro.lsm.options import KIB, Options
 from repro.lsm.repair import repair_db
 from repro.obs.metrics import MetricRegistry
+from repro.obs.trace import Tracer, chrome_trace_document
 from repro.sim.clock import millis
 from repro.sim.events import Interrupt
 
@@ -94,8 +95,14 @@ class CrashMatrixConfig:
             options.sync.sync_wal = True
         return options
 
-    def build_stack(self, observe: bool = False) -> StorageStack:
-        obs = MetricRegistry() if observe else None
+    def build_stack(
+        self, observe: bool = False, trace: bool = False
+    ) -> StorageStack:
+        obs = None
+        if observe or trace:
+            obs = MetricRegistry()
+            if trace:
+                Tracer(obs)
         return StorageStack(
             StackConfig(
                 journal=JournalConfig(
@@ -140,6 +147,9 @@ class PointResult:
     violations: List[Violation]
     lost_tail: LostTailStats
     recovered_records: int = 0
+    #: Chrome trace-event snapshot around the crash (traced replays of
+    #: violated points only) — lets a violation be debugged from its trace
+    trace_events: Optional[List[Dict[str, object]]] = None
 
 
 @dataclass
@@ -297,10 +307,19 @@ def discover_points(
 
 
 def run_point(
-    config: CrashMatrixConfig, ops: List[WorkloadOp], point: CrashPoint
+    config: CrashMatrixConfig,
+    ops: List[WorkloadOp],
+    point: CrashPoint,
+    trace: bool = False,
 ) -> PointResult:
-    """Replay the workload, crash at ``point``, recover and verify."""
-    stack = config.build_stack(observe=False)
+    """Replay the workload, crash at ``point``, recover and verify.
+
+    With ``trace=True`` the replay runs under a causal tracer (the
+    virtual timeline is identical — observability never moves the
+    clock) and the result carries a bounded Chrome trace-event snapshot
+    of the window leading up to the crash.
+    """
+    stack = config.build_stack(observe=trace, trace=trace)
     interrupt = stack.events.schedule_interrupt(point.time_ns)
     oracle = DurabilityOracle(sync_acked=MODES[config.mode][1])
     db = None
@@ -318,6 +337,24 @@ def run_point(
     violations = _shadow_violations(db)
     volatile = _volatile_keys(db, oracle.history)
     crashed_at = stack.now
+    trace_events: Optional[List[Dict[str, object]]] = None
+    if trace and stack.obs.tracer is not None:
+        # snapshot before crash/recovery so the trace shows exactly what
+        # led up to the injected failure, clipped to the last few commit
+        # intervals and bounded in size
+        window = 3 * config.commit_interval_ns
+        doc = chrome_trace_document(
+            stack.obs.tracer,
+            meta={
+                "mode": config.mode,
+                "point_kind": point.kind,
+                "point_time_ns": point.time_ns,
+                "crashed_at": crashed_at,
+            },
+            clip=(max(crashed_at - window, 0), crashed_at),
+            limit=500,
+        )
+        trace_events = doc["traceEvents"]
     stack.crash()
 
     recovery = "open"
@@ -373,6 +410,7 @@ def run_point(
         violations=violations,
         lost_tail=lost_tail,
         recovered_records=recovered_records,
+        trace_events=trace_events,
     )
 
 
@@ -391,4 +429,14 @@ def run_crash_matrix(config: CrashMatrixConfig) -> CrashMatrixReport:
     )
     for point in points:
         report.results.append(run_point(config, ops, point))
+    # Replay the first few violated points under the tracer so their
+    # payloads carry a debuggable trace snapshot. Determinism makes the
+    # traced replay's timeline identical to the untraced exploration.
+    traced = 0
+    for result in report.results:
+        if not result.violations or traced >= 5:
+            continue
+        replay = run_point(config, ops, result.point, trace=True)
+        result.trace_events = replay.trace_events
+        traced += 1
     return report

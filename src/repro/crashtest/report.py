@@ -29,6 +29,21 @@ def matrix_payload(reports: List[CrashMatrixReport]) -> Dict[str, Any]:
                      "detail": v.detail}
                     for v in report.violations
                 ],
+                # trace snapshots of violated points (traced replays):
+                # each is a bounded Chrome trace-event window ending at
+                # the crash, for debugging the violation causally
+                "traces": [
+                    {
+                        "point": {
+                            "kind": result.point.kind,
+                            "time_ns": result.point.time_ns,
+                        },
+                        "crashed_at": result.crashed_at,
+                        "events": result.trace_events,
+                    }
+                    for result in report.results
+                    if result.trace_events is not None
+                ],
             }
         )
     return {

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.fs.jbd2 import Journal, NsOp, NsOpKind, Transaction
 from repro.fs.pagecache import PageCache
 from repro.obs.metrics import MetricRegistry, NULL_REGISTRY
+from repro.obs.spans import NULL_SPAN
 from repro.sim.events import EventQueue
 from repro.sim.latency import CpuProfile, DEFAULT_CPU
 from repro.sim.ssd import SSD
@@ -366,6 +367,10 @@ class Ext4:
         self.journal.add_ns_op(NsOp(NsOpKind.UNLINK, path, inode.ino))
         self.pagecache.drop_inode(inode.ino)
         self.device.forget_stream(inode.ino)
+        if self._observe:
+            tracer = self.obs.tracer
+            if tracer is not None:
+                tracer.drop_inode(inode.ino)
         syscalls = getattr(self, "nob_syscalls", None)
         if syscalls is not None:
             syscalls.on_unlink(inode.ino)
@@ -527,7 +532,13 @@ class Ext4:
             self._arm_flusher(delay=self._flusher_busy_until - when)
             return
         self.flusher_runs += 1
-        span = self.obs.start_span("fs.writeback", when)
+        span = NULL_SPAN
+        tracer = None
+        if self._observe:
+            tracer = self.obs.tracer
+            if tracer is not None:
+                tracer.push_track("flusher")
+            span = self.obs.start_span("fs.writeback", when)
         budget = self.writeback_chunk_bytes
         t = when
         if self.device.num_channels > 1:
@@ -551,6 +562,8 @@ class Ext4:
                 budget -= written
         span.annotate(bytes=self.writeback_chunk_bytes - budget)
         span.end(t)
+        if tracer is not None:
+            tracer.pop_track()
         self._flusher_busy_until = t
         if self._delalloc:
             self._arm_flusher(delay=max(t - self.clock.now, 1))

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.obs.metrics import MetricRegistry, NULL_REGISTRY
+from repro.obs.spans import NULL_SPAN
 from repro.sim.clock import seconds
 from repro.sim.events import EventQueue
 from repro.sim.ssd import SSD
@@ -221,15 +222,21 @@ class Journal:
         txn.commit_started_at = at
         start = max(at, self._last_commit_done)
         journal_bytes = self._journal_write_bytes(txn)
-        span = self.obs.start_span(
-            "journal.commit",
-            at,
-            tid=txn.tid,
-            inodes=len(txn.inodes),
-            ns_ops=len(txn.ns_ops),
-            journal_bytes=journal_bytes,
-            forced=forced,
-        )
+        span = NULL_SPAN
+        tracer = None
+        if self._observe:
+            tracer = self.obs.tracer
+            if tracer is not None:
+                tracer.push_track("journal")
+            span = self.obs.start_span(
+                "journal.commit",
+                at,
+                tid=txn.tid,
+                inodes=len(txn.inodes),
+                ns_ops=len(txn.ns_ops),
+                journal_bytes=journal_bytes,
+                forced=forced,
+            )
         # the journal is one physically contiguous region: all commit
         # blocks share one stream so they stay ordered on one channel;
         # the FLUSH that follows is a cross-channel barrier regardless
@@ -241,6 +248,9 @@ class Journal:
         self._last_commit_done = t
         self.commits += 1
         span.end(t)
+        if tracer is not None:
+            tracer.pop_track()
+            tracer.note_commit(txn.inodes, span)
         return t
 
     def _finalize(self, txn: Transaction, when: int) -> None:

@@ -48,7 +48,9 @@ class LazyExecutor:
         self.stall_ns = 0
         self.thread_jobs: List[int] = [0] * num_threads
         self.thread_busy_ns: List[int] = [0] * num_threads
+        self._name = name
         self._observe = obs is not None and obs.enabled
+        self._obs = obs if self._observe else None
         if self._observe:
             obs.register_source(name, self.snapshot)
             self._stall_counter = obs.counter("bg.stall_ns")
@@ -90,7 +92,16 @@ class LazyExecutor:
             index = thread
         start = max(int(ready), self._free_at[index])
         stall = start - int(ready)
-        done = work(start)
+        tracer = self._obs.tracer if self._obs is not None else None
+        if tracer is not None:
+            # spans opened inside the job land on this worker's track
+            tracer.push_track(f"{self._name}.t{index}")
+            try:
+                done = work(start)
+            finally:
+                tracer.pop_track()
+        else:
+            done = work(start)
         if done < start:
             raise RuntimeError(
                 f"background work went backwards in time ({done} < {start})"

@@ -234,9 +234,15 @@ class CompactionSchedule:
 
     def __init__(self) -> None:
         self._jobs: List[InflightJob] = []
+        #: jobs whose dispatch was pushed past a conflicting in-flight
+        #: span (the stall detector labels these ``major_deferred``)
+        self.deferrals = 0
 
     def __len__(self) -> int:
         return len(self._jobs)
+
+    def note_deferral(self) -> None:
+        self.deferrals += 1
 
     def prune(self, at: int) -> None:
         """Forget jobs whose spans closed at or before ``at``."""

@@ -60,6 +60,7 @@ from repro.lsm.iterator import (
 from repro.lsm.memtable import MemTable
 from repro.lsm.options import Options
 from repro.lsm.sstable import TableBuilder
+from repro.obs.spans import NULL_SPAN, Span
 from repro.lsm.tablecache import TableCache
 from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
 from repro.lsm.wal import BatchEntry, LogReader, LogWriter
@@ -191,6 +192,16 @@ class DB:
         self.stats = DBStats()
         self.obs = stack.obs
         self._observe = self.obs.enabled
+        #: causal tracer, when one is attached to the registry; per-op
+        #: spans and stall spans are created only when tracing is on, so
+        #: observe-only runs keep their exact per-op cost profile
+        self._tracer = self.obs.tracer if self._observe else None
+        #: bounded sample of traced db.write spans still in the live
+        #: memtable (the dump links them to its minor-compaction span)
+        self._mem_trace_spans: List[Span] = []
+        self._mem_trace_count = 0
+        self._imm_trace_spans: List[Span] = []
+        self._imm_trace_count = 0
         self._wal_bytes_total = 0
         self._wal_records_total = 0
         if self._observe:
@@ -431,6 +442,15 @@ class DB:
         if best is None:
             return None
         clearance, compaction = best
+        self._schedule.note_deferral()
+        if self._tracer is not None and clearance > start_hint:
+            self.obs.start_span(
+                "lsm.write_stall",
+                start_hint,
+                cause="major_deferred",
+                level=compaction.level,
+                output_level=compaction.output_level,
+            ).end(clearance)
         return clearance, (
             lambda start, c=compaction: self._major_compaction_work(c, start)
         )
@@ -473,7 +493,19 @@ class DB:
         clearance = self._schedule.clearance(
             compaction.touched_levels(), begin, end, start_hint
         )
-        return ready if clearance is None else max(ready, clearance)
+        if clearance is None:
+            return ready
+        if clearance > ready:
+            self._schedule.note_deferral()
+            if self._tracer is not None and clearance > start_hint:
+                self.obs.start_span(
+                    "lsm.write_stall",
+                    start_hint,
+                    cause="major_deferred",
+                    level=compaction.level,
+                    output_level=compaction.output_level,
+                ).end(clearance)
+        return max(ready, clearance)
 
     def _note_inflight(
         self,
@@ -578,26 +610,66 @@ class DB:
         return self.write(batch.entries, at)
 
     def write(self, entries: List[BatchEntry], at: int) -> int:
-        """Apply a write batch; returns the caller's completion time."""
+        """Apply a write batch; returns the caller's completion time.
+
+        When a tracer is attached, the whole batch runs under one
+        ``db.write`` root span whose child segments exactly partition
+        its latency — writer-lock wait, stalls, memtable switch, WAL
+        append, WAL sync, memtable insert — feeding the critical-path
+        attribution table.
+        """
         if self.closed:
             raise RuntimeError("DB is closed")
+        span = None
+        if self._tracer is not None:
+            span = self.obs.start_span("db.write", at, entries=len(entries))
         t = max(at, self._writer_free_at)
+        if span is not None and t > at:
+            span.child("writer_lock", at).end(t)
         self.events.run_until(t)
         self._advance_background(t)
-        t = self._make_room(t)
+        t = self._make_room(t, span=span)
         sequence = self.versions.last_sequence + 1
         self.versions.last_sequence += len(entries)
+        seg = t
         t = self._wal.add_record(sequence, entries, at=t)
         self.stats.wal_records += 1
+        if span is not None and t > seg:
+            span.child("wal.append", seg).end(t)
         if self.options.sync.sync_wal:
+            seg = t
             t = self._wal.handle.fsync(at=t, reason="wal")
+            if span is not None and t > seg:
+                span.child("wal.sync", seg).end(t)
+        seg = t
         for offset, (value_type, key, value) in enumerate(entries):
             self.mem.add(sequence + offset, value_type, key, value)
             t += self.cpu.memtable_insert_ns
+        if span is not None:
+            if t > seg:
+                span.child("memtable.insert", seg).end(t)
+            span.end(t)
+            self._note_batch_trace(span)
         self._writer_free_at = t
         return t
 
-    def _make_room(self, at: int) -> int:
+    def _note_batch_trace(self, span: Span) -> None:
+        """Remember a traced batch now resident in the live memtable."""
+        self._mem_trace_count += 1
+        if len(self._mem_trace_spans) < 32:
+            self._mem_trace_spans.append(span)
+
+    def _note_stall(
+        self, cause: str, start: int, end: int, parent: Optional[Span] = None
+    ) -> None:
+        """Emit one ``lsm.write_stall`` span with its cause label."""
+        if end <= start or self._tracer is None:
+            return
+        self.obs.start_span("lsm.write_stall", start, cause=cause).end(end)
+        if parent is not None:
+            parent.child("stall." + cause, start).end(end)
+
+    def _make_room(self, at: int, span: Optional[Span] = None) -> int:
         """LevelDB's MakeRoomForWrite: stalls, switches, triggers."""
         t = at
         allow_delay = True
@@ -612,6 +684,7 @@ class DB:
                 self.stats.slowdown_ns += MILLISECOND
                 if self._observe:
                     self._stall_slowdown.inc(MILLISECOND)
+                self._note_stall("l0_slowdown", t - MILLISECOND, t, span)
                 allow_delay = False
                 self._advance_background(t)
                 continue
@@ -633,6 +706,7 @@ class DB:
                 self.stats.stall_memtable_ns += resumed - t
                 if self._observe:
                     self._stall_memtable.inc(resumed - t)
+                self._note_stall("memtable_full", t, resumed, span)
                 t = resumed
                 continue
             if l0_count >= self.options.l0_stop_writes_trigger:
@@ -641,9 +715,13 @@ class DB:
                 self.stats.stall_l0_stop_ns += resumed - t
                 if self._observe:
                     self._stall_l0_stop.inc(resumed - t)
+                self._note_stall("l0_stop", t, resumed, span)
                 t = resumed
                 continue
+            seg = t
             t = self._switch_memtable(t)
+            if span is not None and t > seg:
+                span.child("memtable.switch", seg).end(t)
 
     def _wait_for_l0_drain(self, at: int) -> int:
         """Blocked writer: run background jobs until L0 falls below stop."""
@@ -673,6 +751,13 @@ class DB:
         imm = self.mem
         old_log = self._wal_number
         self.mem = MemTable()
+        if self._tracer is not None:
+            # the sealed memtable carries its batches' trace spans; the
+            # minor dump will link them to its own span
+            self._imm_trace_spans = self._mem_trace_spans
+            self._imm_trace_count = self._mem_trace_count
+            self._mem_trace_spans = []
+            self._mem_trace_count = 0
         t = self._new_wal(t)
         self._pending_imm = (imm, old_log, t)
         self._advance_background(t)  # dump immediately if a thread is free
@@ -702,11 +787,21 @@ class DB:
         if imm.empty:
             return at
         self.stats.minor_compactions += 1
-        span = self.obs.start_span(
-            "db.compaction.minor",
-            at,
-            input_bytes=imm.approximate_memory_usage,
-        )
+        span = NULL_SPAN
+        if self._observe:
+            span = self.obs.start_span(
+                "db.compaction.minor",
+                at,
+                input_bytes=imm.approximate_memory_usage,
+            )
+        if self._tracer is not None and self._imm_trace_spans:
+            # causal arrows: every traced batch in this memtable flows
+            # into the dump that persists it
+            for batch_span in self._imm_trace_spans:
+                self._tracer.link(batch_span, span, name="kv-batch")
+            span.annotate(carries=self._imm_trace_count)
+            self._imm_trace_spans = []
+            self._imm_trace_count = 0
         number = self.versions.new_file_number()
         path = table_file_name(self.dbname, number)
         builder = TableBuilder(self.fs, path, self.options, at, number=number)
@@ -731,6 +826,9 @@ class DB:
         level = self.versions.current.pick_level_for_memtable_output(
             meta.smallest[:-8], meta.largest[:-8], self.options
         )
+        if self._tracer is not None:
+            # the journal commit covering this inode closes the chain
+            self._tracer.bind_inode(handle.ino, span)
         t = self._persist_minor_output(meta, t)
         edit = VersionEdit(log_number=self._wal_number)
         edit.add_file(level, meta)
@@ -764,9 +862,11 @@ class DB:
         self.stats.major_compactions += 1
         if compaction.is_seek:
             self.stats.seek_compactions += 1
-        span = self.obs.start_span(
-            "db.compaction.major", at, **compaction.span_attrs()
-        )
+        span = NULL_SPAN
+        if self._observe:
+            span = self.obs.start_span(
+                "db.compaction.major", at, **compaction.span_attrs()
+            )
         t = at
         entries: List[Tuple[bytes, bytes]] = []
         for meta in compaction.all_inputs:
@@ -810,6 +910,9 @@ class DB:
         elif builder is not None:
             t = builder.abandon(t)
 
+        if self._tracer is not None:
+            for meta in outputs:
+                self._tracer.bind_inode(meta.ino, span)
         t = self._persist_major_outputs(outputs, t)
         edit = compaction.make_delete_edit()
         for meta in outputs:
@@ -922,7 +1025,13 @@ class DB:
         With a ``snapshot``, the lookup sees the newest version at or
         below the snapshot's sequence number.
         """
+        span = None
+        if self._tracer is not None:
+            span = self.obs.start_span("db.get", at)
         value, t = self._get_inner(key, at, snapshot)
+        if span is not None:
+            span.annotate(hit=value is not None)
+            span.end(t)
         if self._observe:
             self._get_hist.record(t - at)
         return value, t

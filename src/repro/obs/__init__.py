@@ -8,10 +8,26 @@ zero cost); pass a real registry via
 ``StackConfig(obs=MetricRegistry())`` or ``ScaledConfig(observe=True)``
 to turn everything on.
 
+On top of the metric substrate sits causal tracing: attach a
+:class:`Tracer` to an enabled registry and every ``put``/``get``/
+compaction obtains a trace id that follows the data through memtable,
+WAL, minor dump, SSTable write, JBD2 commit and dependency-group
+retirement. :func:`write_chrome_trace` exports the result as a
+Perfetto-loadable Chrome trace-event file, and
+:func:`analyze_write_path` decomposes put latency into named segments.
+
 See ``docs/ARCHITECTURE.md`` ("Observability") and
-``examples/observability.py`` for walkthroughs.
+``examples/observability.py`` / ``examples/tracing.py`` for
+walkthroughs.
 """
 
+from repro.obs.critical_path import (
+    CriticalPathReport,
+    SegmentStat,
+    WRITE_SEGMENTS,
+    analyze_write_path,
+    render_critical_path,
+)
 from repro.obs.events import IOEvent, IOLog
 from repro.obs.export import (
     SCHEMA,
@@ -30,9 +46,16 @@ from repro.obs.metrics import (
     NullRegistry,
 )
 from repro.obs.spans import NULL_SPAN, Span
+from repro.obs.trace import (
+    Tracer,
+    chrome_trace_document,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "Counter",
+    "CriticalPathReport",
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
@@ -43,9 +66,17 @@ __all__ = [
     "NULL_SPAN",
     "NullRegistry",
     "SCHEMA",
+    "SegmentStat",
     "Span",
+    "Tracer",
+    "WRITE_SEGMENTS",
+    "analyze_write_path",
+    "chrome_trace_document",
     "layer_breakdown",
     "registry_document",
+    "render_critical_path",
     "to_json",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "write_json",
 ]

@@ -249,6 +249,8 @@ class MetricRegistry:
         self._span_listeners: List[SpanListener] = []
         self.io_log: Optional[IOLog] = None
         self._io_device = None
+        #: the attached :class:`~repro.obs.trace.Tracer`, if any
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # instruments
@@ -290,7 +292,10 @@ class MetricRegistry:
     ) -> Span:
         if parent is not None:
             return parent.child(name, at, **attrs)
-        return Span(name, at, registry=self, **attrs)
+        span = Span(name, at, registry=self, **attrs)
+        if self.tracer is not None:
+            self.tracer._on_start(span)
+        return span
 
     def _finish_span(self, span: Span) -> None:
         self.histogram(f"span.{span.name}_ns").record(span.duration_ns)
@@ -384,6 +389,8 @@ class MetricRegistry:
         self.spans_dropped = 0
         if self.io_log is not None:
             self.io_log.reset()
+        if self.tracer is not None:
+            self.tracer.reset()
 
 
 class NullRegistry(MetricRegistry):

@@ -21,7 +21,17 @@ from typing import Dict, List, Optional
 class Span:
     """One timed operation: name, [start, end] in virtual ns, attributes."""
 
-    __slots__ = ("name", "start_ns", "end_ns", "attrs", "parent", "children", "_registry")
+    __slots__ = (
+        "name",
+        "start_ns",
+        "end_ns",
+        "attrs",
+        "parent",
+        "children",
+        "trace_id",
+        "track",
+        "_registry",
+    )
 
     def __init__(
         self,
@@ -37,6 +47,8 @@ class Span:
         self.attrs: Dict[str, object] = dict(attrs)
         self.parent = parent
         self.children: List[Span] = []
+        self.trace_id = 0
+        self.track = "client"
         self._registry = registry
 
     @property
@@ -55,8 +67,17 @@ class Span:
         return self
 
     def child(self, name: str, at: int, **attrs: object) -> "Span":
-        """Open a nested span starting at virtual time ``at``."""
+        """Open a nested span starting at virtual time ``at``.
+
+        Children inherit the parent's trace id; the track is whichever
+        execution context (tracer track stack) is active *now*, so a
+        child created on a background thread lands on that thread's
+        track even though its parent started on the client track.
+        """
         span = Span(name, at, registry=self._registry, parent=self, **attrs)
+        span.trace_id = self.trace_id
+        tracer = self._registry.tracer if self._registry is not None else None
+        span.track = tracer.current_track if tracer is not None else self.track
         self.children.append(span)
         return span
 
@@ -80,6 +101,8 @@ class Span:
             "duration_ns": self.duration_ns,
             "attrs": dict(self.attrs),
         }
+        if self.trace_id:
+            doc["trace"] = self.trace_id
         if include_children and self.children:
             doc["children"] = [c.to_dict() for c in self.children]
         return doc
@@ -102,6 +125,8 @@ class _NullSpan:
     parent = None
     ended = True
     duration_ns = 0
+    trace_id = 0
+    track = "client"
 
     def annotate(self, **attrs: object) -> "_NullSpan":
         return self

@@ -99,6 +99,20 @@ class DeviceProfile:
             num_channels=num_channels,
         )
 
+    def describe(self) -> dict:
+        """JSON-safe summary for trace metadata / bench provenance."""
+        return {
+            "name": self.name,
+            "num_channels": self.num_channels,
+            "seq_write_bw": self.seq_write_bw,
+            "rand_write_bw": self.rand_write_bw,
+            "seq_read_bw": self.seq_read_bw,
+            "rand_read_bw": self.rand_read_bw,
+            "io_submit_ns": self.io_submit_ns,
+            "flush_ns": self.flush_ns,
+            "barrier_extra_ns": self.barrier_extra_ns,
+        }
+
     def scaled(self, factor: float) -> "DeviceProfile":
         """A uniformly slower (>1) or faster (<1) copy of this profile."""
         if factor <= 0:

@@ -181,11 +181,15 @@ class SSD:
                 self._queue_ns.inc(queued)
                 if len(self._channels) > 1:
                     self._channel_queue[channel].record(queued)
-            done = self._service(
-                at, self.profile.write_ns(nbytes, sequential), channel
-            )
+            duration = self.profile.write_ns(nbytes, sequential)
+            done = self._service(at, duration, channel)
             if self._observe:
                 self._write_hist.record(done - int(at))
+                tracer = self.obs.tracer
+                if tracer is not None:
+                    tracer.io_slice(
+                        "write", channel, done - duration, done, nbytes, stream
+                    )
         if self._listeners:
             self._notify("write", nbytes, at, done, sequential)
         return done
@@ -211,11 +215,15 @@ class SSD:
                 self._queue_ns.inc(queued)
                 if len(self._channels) > 1:
                     self._channel_queue[channel].record(queued)
-            done = self._service(
-                at, self.profile.read_ns(nbytes, sequential), channel
-            )
+            duration = self.profile.read_ns(nbytes, sequential)
+            done = self._service(at, duration, channel)
             if self._observe:
                 self._read_hist.record(done - int(at))
+                tracer = self.obs.tracer
+                if tracer is not None:
+                    tracer.io_slice(
+                        "read", channel, done - duration, done, nbytes, stream
+                    )
         if self._listeners:
             self._notify("read", nbytes, at, done, sequential)
         return done
@@ -244,6 +252,9 @@ class SSD:
         self.stats.busy_ns += duration
         if self._observe:
             self._flush_hist.record(completion - int(at))
+            tracer = self.obs.tracer
+            if tracer is not None:
+                tracer.io_slice("flush", -1, start, completion, 0, None)
         if self._listeners:
             self._notify("flush", 0, at, completion, True)
         return completion

@@ -1,0 +1,89 @@
+"""Crash-matrix trace snapshots: traced replays are faithful and bounded."""
+
+from repro.crashtest.harness import (
+    CrashMatrixConfig,
+    build_workload,
+    discover_points,
+    reference_run,
+    run_point,
+)
+from repro.crashtest.report import matrix_payload
+from repro.obs.trace import validate_chrome_trace
+
+
+def small_config(**kwargs):
+    return CrashMatrixConfig(points=8, seed=3, num_ops=80, **kwargs)
+
+
+def pick_point(config):
+    ops = build_workload(config)
+    spans, windows, end_ns = reference_run(config, ops)
+    points = discover_points(config, spans, windows, end_ns)
+    # a mid-run point so there is trace history to snapshot
+    return ops, sorted(points, key=lambda p: p.time_ns)[len(points) // 2]
+
+
+def test_traced_replay_matches_untraced_timeline():
+    config = small_config()
+    ops, point = pick_point(config)
+    plain = run_point(config, ops, point)
+    traced = run_point(config, ops, point, trace=True)
+    assert traced.crashed_at == plain.crashed_at
+    assert traced.recovery == plain.recovery
+    assert traced.wal_tail_drops == plain.wal_tail_drops
+    assert [str(v) for v in traced.violations] == [
+        str(v) for v in plain.violations
+    ]
+    assert plain.trace_events is None
+    assert traced.trace_events
+
+
+def test_snapshot_is_valid_bounded_chrome_trace():
+    config = small_config()
+    ops, point = pick_point(config)
+    result = run_point(config, ops, point, trace=True)
+    events = result.trace_events
+    validate_chrome_trace({"traceEvents": events})
+    xs = [e for e in events if e["ph"] == "X"]
+    assert 0 < len(xs) <= 500
+    # clipped to the window leading up to the crash
+    window_us = 3 * config.commit_interval_ns / 1000.0
+    crash_us = result.crashed_at / 1000.0
+    for e in xs:
+        assert e["ts"] >= crash_us - window_us - 1
+        assert e["ts"] <= crash_us + 1
+
+
+def test_snapshot_works_with_parallel_stack():
+    config = small_config(num_channels=4, background_threads=2)
+    ops, point = pick_point(config)
+    result = run_point(config, ops, point, trace=True)
+    validate_chrome_trace({"traceEvents": result.trace_events})
+
+
+def test_matrix_payload_carries_traces():
+    config = small_config()
+    ops, point = pick_point(config)
+
+    class FakeReport:
+        mode = config.mode
+        seed = config.seed
+        num_ops = len(ops)
+        reference_end_ns = 0
+        points_explored = 1
+        points_by_kind = {}
+        recovery_modes = {"open": 1, "repair": 0, "failed": 0}
+        wal_tail_drops = 0
+        lost_tail_totals = {
+            "volatile_keys": 0, "lost": 0, "reverted": 0, "intact": 0
+        }
+        violations = []
+        results = [run_point(config, ops, point, trace=True)]
+
+    payload = matrix_payload([FakeReport()])
+    assert payload["schema"] == "repro.crashmatrix/1"
+    traces = payload["modes"][0]["traces"]
+    assert len(traces) == 1
+    assert traces[0]["point"]["time_ns"] == point.time_ns
+    assert traces[0]["crashed_at"] == FakeReport.results[0].crashed_at
+    assert traces[0]["events"]
