@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures refresh-baselines perf-gate clean
+.PHONY: install test bench bench-full figures refresh-baselines perf-gate \
+	profile speed speed-gate refresh-speed-baseline clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -40,6 +41,32 @@ perf-gate:
 		benchmarks/baselines/fillrandom.json results/perf-gate/fillrandom.json
 	PYTHONPATH=src $(PYTHON) -m repro.bench.cli compare \
 		benchmarks/baselines/parallelism.json results/perf-gate/parallelism.json
+
+# Profile the fillrandom hot path: writes a cProfile dump and prints
+# the top frames by cumulative time. Start here before optimising.
+profile:
+	mkdir -p results/profile
+	PYTHONPATH=src $(PYTHON) -m cProfile -o results/profile/fillrandom.pstats \
+		-m repro.bench.cli fillrandom --scale 2000
+	PYTHONPATH=src $(PYTHON) -c "import pstats; \
+		pstats.Stats('results/profile/fillrandom.pstats') \
+		.sort_stats('cumulative').print_stats(30)"
+
+# Wall-clock simulator throughput (ops/sec real time, median of repeats).
+speed:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli speed
+
+# CI's speed gate: current wall-clock throughput vs the recorded
+# baseline, with the generous higher-is-better threshold.
+speed-gate:
+	rm -rf results/speed-gate && mkdir -p results/speed-gate
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli speed --json results/speed-gate
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli compare \
+		benchmarks/baselines/speed.json results/speed-gate/speed.json
+
+# Re-record the wall-clock baseline on the machine that runs the gate.
+refresh-speed-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli speed --json benchmarks/baselines
 
 artifacts: test bench
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -16,6 +16,8 @@ Usage::
                                        [--channels 1,4] [--threads 1,2]
     python -m repro.bench fillrandom   [--observe] [--trace-out t.json]
                                        [--scale 2000] [--stores noblsm]
+    python -m repro.bench speed        [--repeats 3] [--warmup 1]
+                                       [--scale 2000] [--stores noblsm]
     python -m repro.bench compare BASELINE.json CURRENT.json
                                        [--thresholds us_per_op=0.1,...]
 
@@ -25,9 +27,12 @@ gate on it. ``parallelism`` sweeps device channels x background
 compaction threads over compaction-bound fillrandom. ``fillrandom``
 runs one store once, optionally with observability (``--observe``) and
 causal tracing (``--trace-out`` writes a Perfetto-loadable Chrome
-trace and prints the critical-path attribution table). ``compare``
-diffs two ``repro.bench/1`` JSONs and exits non-zero on a regression —
-the CI perf gate. ``all`` regenerates the figures only.
+trace and prints the critical-path attribution table). ``speed`` times
+the *simulator itself* — fillrandom run ``--repeats`` times with
+``--warmup`` discarded runs, reported as wall-clock ops/sec
+(``repro.speed/1``). ``compare`` diffs two ``repro.bench/1`` (or
+``repro.speed/1``) JSONs and exits non-zero on a regression — the CI
+perf gate. ``all`` regenerates the figures only.
 """
 
 from __future__ import annotations
@@ -234,6 +239,8 @@ def _run_parallelism(args) -> int:
 
 def _run_fillrandom(args) -> int:
     """The ``fillrandom`` target: one store, optional trace + JSON."""
+    import time
+
     from repro.bench.db_bench import run_fillrandom
     from repro.bench.harness import ScaledConfig
     from repro.bench.report import (
@@ -259,11 +266,15 @@ def _run_fillrandom(args) -> int:
         num_channels=channels,
         background_threads=threads,
     )
+    wall_start = time.perf_counter()
     result, stack, db = run_fillrandom(store, config)
+    result.wall_seconds = time.perf_counter() - wall_start
     print(
         f"fillrandom {store}: {result.num_ops} ops, "
         f"{result.us_per_op:.3f} us/op, {result.sync_calls} syncs, "
-        f"{result.stall_ns / 1e6:.2f} ms stalled"
+        f"{result.stall_ns / 1e6:.2f} ms stalled "
+        f"[host: {result.wall_seconds:.3f}s, "
+        f"{result.ops_per_sec_wall:,.0f} ops/sec real time]"
     )
     if stack.obs.enabled:
         print()
@@ -307,6 +318,43 @@ def _run_fillrandom(args) -> int:
     return 0
 
 
+def _run_speed(args) -> int:
+    """The ``speed`` target: wall-clock simulator throughput + JSON."""
+    from repro.bench.speed import render_speed, run_speed, write_speed_json
+
+    store = args.stores.split(",")[0] if args.stores else "noblsm"
+    scale = args.scale or 2000.0
+    channels = int(args.channels.split(",")[0]) if args.channels else 1
+    threads = int(args.threads.split(",")[0]) if args.threads else 1
+    result = run_speed(
+        store=store,
+        scale=scale,
+        num_ops=args.num if args.num != 240 else 0,
+        seed=args.seed if args.seed else 1234,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        num_channels=channels,
+        background_threads=threads,
+    )
+    print(render_speed([result]))
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+        path = os.path.join(args.json, "speed.json")
+        write_speed_json(
+            path,
+            [result],
+            meta={
+                "target": "speed",
+                "store": store,
+                "scale": scale,
+                "repeats": args.repeats,
+                "warmup": args.warmup,
+            },
+        )
+        print(f"\nwrote {path}")
+    return 0
+
+
 def _run_compare(args) -> int:
     """The ``compare`` target: perf gate over two repro.bench/1 files."""
     from repro.bench.compare import (
@@ -341,7 +389,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "target",
         choices=ALL_TARGETS
-        + ["all", "crash-matrix", "parallelism", "fillrandom", "compare"],
+        + ["all", "crash-matrix", "parallelism", "fillrandom", "speed",
+           "compare"],
     )
     parser.add_argument(
         "paths",
@@ -429,6 +478,18 @@ def main(argv: Optional[List[str]] = None) -> int:
              "--observe) and print the critical-path table",
     )
     parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="speed: measured fillrandom runs (default 3)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="speed: discarded warm-up runs before measuring (default 1)",
+    )
+    parser.add_argument(
         "--thresholds",
         type=str,
         default=None,
@@ -442,6 +503,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_parallelism(args)
     if args.target == "fillrandom":
         return _run_fillrandom(args)
+    if args.target == "speed":
+        return _run_speed(args)
     if args.target == "compare":
         return _run_compare(args)
     stores = args.stores.split(",") if args.stores else None

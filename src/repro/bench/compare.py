@@ -24,18 +24,31 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 SCHEMA = "repro.bench/1"
+SPEED_SCHEMA = "repro.speed/1"
 
 
 @dataclass(frozen=True)
 class MetricSpec:
-    """One gated metric: relative threshold + absolute floor."""
+    """One gated metric: relative threshold + absolute floor.
+
+    ``higher_is_better`` flips the direction: a wall-clock throughput
+    metric regresses when it *drops* below its limit.
+    """
 
     name: str
     threshold: float
     floor: float
+    higher_is_better: bool = False
 
     def limit(self, base: float) -> float:
+        if self.higher_is_better:
+            return base * (1.0 - self.threshold) - self.floor
         return base * (1.0 + self.threshold) + self.floor
+
+    def is_regression(self, base: float, current: float) -> bool:
+        if self.higher_is_better:
+            return current < self.limit(base)
+        return current > self.limit(base)
 
 
 #: the gate's default metric set; all are lower-is-better
@@ -45,6 +58,15 @@ DEFAULT_METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec("stall_ns", 0.25, 5e6),
     MetricSpec("device_bytes_written", 0.25, 64 * 1024),
     MetricSpec("syncs", 0.10, 2.0),
+)
+
+#: the ``repro.speed/1`` gate: wall-clock throughput, higher-is-better.
+#: The threshold is deliberately generous (fail only below half the
+#: recorded baseline) because host hardware and interpreter version move
+#: wall-clock numbers in ways the deterministic virtual-time metrics
+#: never experience.
+SPEED_METRICS: Tuple[MetricSpec, ...] = (
+    MetricSpec("ops_per_sec", 0.50, 0.0, higher_is_better=True),
 )
 
 #: row-identity fields; extras are included when present
@@ -83,6 +105,7 @@ class MetricDelta:
     current: float
     threshold: float
     regressed: bool
+    higher_is_better: bool = False
 
     @property
     def ratio(self) -> float:
@@ -128,14 +151,16 @@ def parse_thresholds(spec: Optional[str]) -> Optional[Dict[str, float]]:
     return overrides
 
 
-def _check_schema(doc: Dict[str, object], which: str) -> None:
-    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+def _check_schema(doc: Dict[str, object], which: str) -> str:
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema not in (SCHEMA, SPEED_SCHEMA):
         raise ValueError(
-            f"{which} document is not {SCHEMA!r} "
-            f"(schema={doc.get('schema') if isinstance(doc, dict) else doc!r})"
+            f"{which} document is not {SCHEMA!r} or {SPEED_SCHEMA!r} "
+            f"(schema={schema if isinstance(doc, dict) else doc!r})"
         )
     if not isinstance(doc.get("results"), list):
         raise ValueError(f"{which} document has no results list")
+    return schema
 
 
 def compare_documents(
@@ -143,16 +168,28 @@ def compare_documents(
     cur_doc: Dict[str, object],
     thresholds: Optional[Dict[str, float]] = None,
 ) -> CompareReport:
-    """Compare current against baseline; thresholds override by name."""
-    _check_schema(base_doc, "baseline")
-    _check_schema(cur_doc, "current")
+    """Compare current against baseline; thresholds override by name.
+
+    Both documents must share a schema; ``repro.bench/1`` gates the
+    lower-is-better virtual-time metrics, ``repro.speed/1`` gates
+    wall-clock throughput (higher-is-better).
+    """
+    base_schema = _check_schema(base_doc, "baseline")
+    cur_schema = _check_schema(cur_doc, "current")
+    if base_schema != cur_schema:
+        raise ValueError(
+            f"schema mismatch: baseline is {base_schema!r}, "
+            f"current is {cur_schema!r}"
+        )
+    metric_set = SPEED_METRICS if base_schema == SPEED_SCHEMA else DEFAULT_METRICS
     metrics = [
         MetricSpec(
             m.name,
             thresholds[m.name] if thresholds and m.name in thresholds else m.threshold,
             m.floor,
+            m.higher_is_better,
         )
-        for m in DEFAULT_METRICS
+        for m in metric_set
     ]
     base_rows = {row_key(r): r for r in base_doc["results"]}
     cur_rows = {row_key(r): r for r in cur_doc["results"]}
@@ -178,7 +215,8 @@ def compare_documents(
                     base=base,
                     current=current,
                     threshold=spec.threshold,
-                    regressed=current > spec.limit(base),
+                    regressed=spec.is_regression(base, current),
+                    higher_is_better=spec.higher_is_better,
                 )
             )
     report.new_rows = [k for k in cur_rows if k not in base_rows]
@@ -202,10 +240,11 @@ def render_compare(report: CompareReport) -> str:
     for key in report.missing_rows:
         lines.append(f"MISSING  {_key_label(key)} — row absent from current run")
     for delta in report.regressions:
+        sign = "-" if delta.higher_is_better else "+"
         lines.append(
             f"REGRESSED  {_key_label(delta.key)}  {delta.metric}: "
             f"{delta.base:g} -> {delta.current:g} "
-            f"({delta.ratio:.3f}x, limit +{delta.threshold * 100:.0f}%)"
+            f"({delta.ratio:.3f}x, limit {sign}{delta.threshold * 100:.0f}%)"
         )
     header = (
         f"{'row':<38} {'metric':<22} {'base':>14} {'current':>14} {'ratio':>8}"

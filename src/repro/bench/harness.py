@@ -148,12 +148,23 @@ class BenchResult:
     #: critical-path attribution (CriticalPathReport.to_dict());
     #: ``None`` unless the run was traced.
     critical_path: "Optional[Dict[str, object]]" = None
+    #: host wall-clock seconds the run took to *simulate* (not virtual
+    #: time); 0.0 unless the caller timed the run. Exported under a
+    #: separate ``host`` key so virtual-time records stay byte-stable.
+    wall_seconds: float = 0.0
 
     @property
     def us_per_op(self) -> float:
         if self.num_ops == 0:
             return 0.0
         return to_micros(self.virtual_ns) / self.num_ops
+
+    @property
+    def ops_per_sec_wall(self) -> float:
+        """Simulated operations per real host second (simulator speed)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.num_ops / self.wall_seconds
 
     @property
     def virtual_seconds(self) -> float:
@@ -199,6 +210,16 @@ class BenchResult:
             data["breakdown_ns"] = dict(self.breakdown_ns)
         if self.critical_path:
             data["critical_path"] = dict(self.critical_path)
+        if self.wall_seconds > 0.0:
+            # Host-dependent numbers live under their own key: the
+            # determinism golden tests and the perf gate read only the
+            # virtual-time fields, which stay byte-identical across
+            # hosts; this section varies with the machine and is never
+            # part of a byte comparison.
+            data["host"] = {
+                "wall_seconds": round(self.wall_seconds, 4),
+                "ops_per_sec_wall": round(self.ops_per_sec_wall, 1),
+            }
         return data
 
 

@@ -133,7 +133,7 @@ class _ExtentList:
         self._size = new_size
 
 
-@dataclass
+@dataclass(slots=True)
 class Inode:
     """In-memory inode: live content plus durability watermarks."""
 
@@ -156,6 +156,8 @@ class Inode:
 
 class File:
     """Handle to an open file. All mutating calls are time-explicit."""
+
+    __slots__ = ("_fs", "path", "_inode", "closed")
 
     def __init__(self, fs: "Ext4", path: str, inode: Inode) -> None:
         self._fs = fs
@@ -246,6 +248,11 @@ class Ext4:
         self.writeback_interval_ns = max(int(writeback_interval_ns), 1)
         self.writeback_chunk_bytes = max(int(writeback_chunk_bytes), 4096)
         self.hard_dirty_ratio = hard_dirty_ratio
+        # balance_dirty_pages threshold, computed once (capacity and
+        # ratio are fixed at construction)
+        self._hard_dirty_limit = int(
+            pagecache.capacity_bytes * hard_dirty_ratio
+        )
         self._namespace: Dict[str, int] = {}
         self._durable_namespace: Dict[str, int] = {}
         self._inodes: Dict[int, Inode] = {}
@@ -411,8 +418,7 @@ class Ext4:
         self.pagecache.write(inode.ino, inode.size - nbytes, nbytes)
         self._delalloc.add(inode.ino)
         self._arm_flusher()
-        hard_limit = int(self.pagecache.capacity_bytes * self.hard_dirty_ratio)
-        if self.pagecache.dirty_bytes > hard_limit:
+        if self.pagecache.dirty_bytes > self._hard_dirty_limit:
             # balance_dirty_pages: the writer blocks until writeback
             # drains the backlog (it becomes device-bound).
             drained = self.writeback_all(at)

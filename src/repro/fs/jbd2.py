@@ -49,7 +49,7 @@ class NsOpKind(enum.Enum):
     RENAME = "rename"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NsOp:
     """A journaled namespace operation, applied durably at commit."""
 
@@ -59,7 +59,7 @@ class NsOp:
     dst_path: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """One JBD2 transaction: a set of inodes plus namespace operations."""
 
@@ -157,11 +157,10 @@ class Journal:
         """
         txn = self._ensure_running()
         txn.inodes.add(ino)
-        previous = txn.commit_sizes.get(ino, 0)
-        if durable_size > previous:
-            txn.commit_sizes[ino] = durable_size
-        elif ino not in txn.commit_sizes:
-            txn.commit_sizes[ino] = durable_size
+        sizes = txn.commit_sizes
+        previous = sizes.get(ino)
+        if previous is None or durable_size > previous:
+            sizes[ino] = durable_size
         self._ino_txn[ino] = txn
         return txn
 

@@ -17,6 +17,8 @@ def _base_hash(key: bytes) -> int:
 class BloomFilter:
     """Immutable bloom filter over a set of keys."""
 
+    __slots__ = ("_bits", "k")
+
     def __init__(self, bits: bytearray, k: int) -> None:
         self._bits = bits
         self.k = k
@@ -33,26 +35,28 @@ class BloomFilter:
         nbytes = (nbits + 7) // 8
         nbits = nbytes * 8
         bits = bytearray(nbytes)
+        crc32 = zlib.crc32
+        k_range = range(k)
         for key in keys:
-            combined = _base_hash(key)
-            h = combined & 0xFFFFFFFF
-            delta = (combined >> 32) & 0xFFFFFFFF
-            for _ in range(k):
+            h = crc32(key)
+            delta = crc32(key[::-1], 0x9747B28C)
+            for _ in k_range:
                 pos = h % nbits
-                bits[pos // 8] |= 1 << (pos % 8)
+                bits[pos >> 3] |= 1 << (pos & 7)
                 h = (h + delta) & 0xFFFFFFFF
         return cls(bits, k)
 
     def may_contain(self, key: bytes) -> bool:
-        nbits = len(self._bits) * 8
+        bits = self._bits
+        nbits = len(bits) * 8
         if nbits == 0:
             return False
-        combined = _base_hash(key)
-        h = combined & 0xFFFFFFFF
-        delta = (combined >> 32) & 0xFFFFFFFF
+        crc32 = zlib.crc32
+        h = crc32(key)
+        delta = crc32(key[::-1], 0x9747B28C)
         for _ in range(self.k):
             pos = h % nbits
-            if not self._bits[pos // 8] & (1 << (pos % 8)):
+            if not bits[pos >> 3] & (1 << (pos & 7)):
                 return False
             h = (h + delta) & 0xFFFFFFFF
         return True

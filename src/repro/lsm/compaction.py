@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.lsm.format import TYPE_DELETION
 from repro.lsm.options import Options
 from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
 
@@ -294,6 +295,14 @@ class VersionKeeper:
     too, once they are invisible to every snapshot.
     """
 
+    __slots__ = (
+        "smallest_snapshot",
+        "drop_tombstones",
+        "_last_user",
+        "_has_newer_visible_everywhere",
+        "dropped",
+    )
+
     def __init__(self, smallest_snapshot: int, drop_tombstones: bool) -> None:
         self.smallest_snapshot = smallest_snapshot
         self.drop_tombstones = drop_tombstones
@@ -302,8 +311,6 @@ class VersionKeeper:
         self.dropped = 0
 
     def keep(self, user_key: bytes, sequence: int, value_type: int) -> bool:
-        from repro.lsm.format import TYPE_DELETION
-
         if user_key != self._last_user:
             self._last_user = user_key
             self._has_newer_visible_everywhere = False
@@ -323,27 +330,48 @@ class VersionKeeper:
 class OutputCutter:
     """Decides when to finish the current output file (LevelDB rules)."""
 
+    __slots__ = (
+        "grandparents",
+        "_max_file_size",
+        "_overlap_limit",
+        "_gp_bounds",
+        "_gp_count",
+        "_gp_index",
+        "_overlap_bytes",
+    )
+
     def __init__(self, compaction: Compaction, options: Options) -> None:
-        self.options = options
         self.grandparents = compaction.grandparents
+        self._max_file_size = options.max_file_size
+        self._overlap_limit = options.grandparent_overlap_limit()
+        # (largest user key, file size) per grandparent, sliced once
+        # instead of on every should_stop_before call
+        self._gp_bounds = [
+            (meta.largest[:-8], meta.file_size)
+            for meta in compaction.grandparents
+        ]
+        self._gp_count = len(self._gp_bounds)
         self._gp_index = 0
         self._overlap_bytes = 0
 
     def should_stop_before(self, user_key: bytes, current_output_size: int) -> bool:
-        if current_output_size >= self.options.max_file_size:
+        if current_output_size >= self._max_file_size:
             return True
         # Advance through grandparents the key has passed, accumulating
         # overlap; cut when the next output would overlap too much of
         # level + 2.
-        while (
-            self._gp_index < len(self.grandparents)
-            and user_key > self.grandparents[self._gp_index].largest[:-8]
-        ):
-            self._overlap_bytes += self.grandparents[self._gp_index].file_size
-            self._gp_index += 1
-        if self._overlap_bytes > self.options.grandparent_overlap_limit():
+        bounds = self._gp_bounds
+        index = self._gp_index
+        count = self._gp_count
+        overlap = self._overlap_bytes
+        while index < count and user_key > bounds[index][0]:
+            overlap += bounds[index][1]
+            index += 1
+        self._gp_index = index
+        if overlap > self._overlap_limit:
             self._overlap_bytes = 0
             return True
+        self._overlap_bytes = overlap
         return False
 
     def reset_for_new_output(self) -> None:

@@ -642,9 +642,10 @@ class DB:
             if span is not None and t > seg:
                 span.child("wal.sync", seg).end(t)
         seg = t
+        mem_add = self.mem.add
         for offset, (value_type, key, value) in enumerate(entries):
-            self.mem.add(sequence + offset, value_type, key, value)
-            t += self.cpu.memtable_insert_ns
+            mem_add(sequence + offset, value_type, key, value)
+        t += self.cpu.memtable_insert_ns * len(entries)
         if span is not None:
             if t > seg:
                 span.child("memtable.insert", seg).end(t)
@@ -874,10 +875,19 @@ class DB:
             file_entries, t = table.all_entries(at=t)
             entries.extend(file_entries)
         self.stats.bytes_compacted_in += compaction.input_bytes
-        entries.sort(
-            key=lambda kv: (kv[0][:-8], ~int.from_bytes(kv[0][-8:], "little"))
-        )
-        t += len(entries) * self.cpu.merge_entry_ns
+        # Decorated sort (user key asc, sequence desc): building the sort
+        # key once per entry and sorting tuples directly beats calling a
+        # key lambda per comparison, and the decoration carries the
+        # (user_key, tag) pair the merge loop below needs anyway. Ties
+        # beyond (user, ~tag) only occur for byte-identical entries, so
+        # tuple comparison cannot reorder distinct ones.
+        from_bytes = int.from_bytes
+        decorated = [
+            (ik[:-8], ~from_bytes(ik[-8:], "little"), ik, value)
+            for ik, value in entries
+        ]
+        decorated.sort()
+        t += len(decorated) * self.cpu.merge_entry_ns
 
         keeper = VersionKeeper(
             self._smallest_snapshot(), self._is_base_level(compaction)
@@ -885,12 +895,13 @@ class DB:
         cutter = OutputCutter(compaction, self.options)
         outputs: List[FileMetaData] = []
         builder: Optional[TableBuilder] = None
-        for internal_key, value in entries:
-            user_key = internal_key[:-8]
-            tag = int.from_bytes(internal_key[-8:], "little")
-            if not keeper.keep(user_key, tag >> 8, tag & 0xFF):
+        keeper_keep = keeper.keep
+        should_stop_before = cutter.should_stop_before
+        for user_key, neg_tag, internal_key, value in decorated:
+            tag = ~neg_tag
+            if not keeper_keep(user_key, tag >> 8, tag & 0xFF):
                 continue
-            if builder is not None and cutter.should_stop_before(
+            if builder is not None and should_stop_before(
                 user_key, builder.current_size
             ):
                 builder, t = self._finish_output(builder, outputs, t)

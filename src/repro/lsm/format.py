@@ -40,23 +40,49 @@ def get_fixed64(buf: bytes, offset: int = 0) -> int:
     return _FIXED64.unpack_from(buf, offset)[0]
 
 
+#: single-byte encodings for values < 128 — the overwhelmingly common
+#: case (key/value length prefixes); indexing this table avoids the
+#: encode loop and a bytearray allocation per call
+_VARINT_SMALL = tuple(bytes((v,)) for v in range(0x80))
+
+#: memo for multi-byte encodings — length prefixes repeat endlessly
+#: (every value in a run has the same size), so encode each once
+_VARINT_CACHE: "dict[int, bytes]" = {}
+_VARINT_CACHE_CAPACITY = 4096
+
+
 def put_varint(value: int) -> bytes:
     """Encode a non-negative int as a LEB128 varint."""
+    if 0 <= value < 0x80:
+        return _VARINT_SMALL[value]
+    cached = _VARINT_CACHE.get(value)
+    if cached is not None:
+        return cached
     if value < 0:
         raise ValueError(f"varint cannot encode negative value {value}")
+    remaining = value
     out = bytearray()
     while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
+        byte = remaining & 0x7F
+        remaining >>= 7
+        if remaining:
             out.append(byte | 0x80)
         else:
             out.append(byte)
-            return bytes(out)
+            break
+    encoded = bytes(out)
+    if len(_VARINT_CACHE) < _VARINT_CACHE_CAPACITY:
+        _VARINT_CACHE[value] = encoded
+    return encoded
 
 
 def get_varint(buf: bytes, offset: int = 0) -> Tuple[int, int]:
     """Decode a varint; returns (value, next_offset)."""
+    # fast path: single-byte varint (values < 128)
+    if offset < len(buf):
+        byte = buf[offset]
+        if byte < 0x80:
+            return byte, offset + 1
     result = 0
     shift = 0
     pos = offset

@@ -24,12 +24,19 @@ from repro.lsm.memtable import MemTable
 class MemTableIterator:
     """Iterates a memtable's entries as internal keys (sorted once)."""
 
+    __slots__ = ("_entries", "_pos", "time")
+
     def __init__(self, memtable: MemTable, at: int) -> None:
-        self._entries: List[Tuple[bytes, bytes]] = []
-        for user_key, sequence, value_type, value in memtable.sorted_entries():
-            self._entries.append(
-                (make_internal_key(user_key, sequence, value_type), value)
+        # internal key = user_key + fixed64(seq << 8 | type), inlined
+        # from make_internal_key (whose range checks always pass here —
+        # the memtable only ever stored validated entries)
+        self._entries: List[Tuple[bytes, bytes]] = [
+            (
+                user_key + ((sequence << 8) | value_type).to_bytes(8, "little"),
+                value,
             )
+            for user_key, sequence, value_type, value in memtable.sorted_entries()
+        ]
         self._pos = 0
         self.time = at
 
@@ -69,6 +76,8 @@ class LevelIterator:
     file list and opens a single table (LevelDB's two-level iterator),
     so scans over stores with many files stay cheap.
     """
+
+    __slots__ = ("_db", "_files", "time", "_file_pos", "_iter")
 
     def __init__(self, db, files: List[object], at: int) -> None:
         self._db = db
@@ -146,6 +155,8 @@ class MergingIterator:
     accumulate on ``self.time`` rather than parallelising across sources.
     """
 
+    __slots__ = ("_sources", "_iter_next_ns", "_current", "_time")
+
     def __init__(self, sources: List[object], cpu_iter_next_ns: int) -> None:
         self._sources = sources
         self._iter_next_ns = cpu_iter_next_ns
@@ -209,6 +220,8 @@ class DBIterator:
     With a ``sequence_bound`` (snapshot reads), versions newer than the
     bound are invisible.
     """
+
+    __slots__ = ("_merger", "_seq_bound", "_key", "_value")
 
     def __init__(
         self,

@@ -5,6 +5,12 @@ dumped; so does this one (a hash map of per-key version lists, sorted
 once at dump time — a minor compaction sorts anyway). Keeping versions
 is what makes snapshots work: a reader pinned at sequence S sees the
 newest version with sequence <= S.
+
+``add`` and ``get`` run once per simulated operation, so both keep an
+allocation-light fast path: inserts append in sequence order without a
+``setdefault`` scratch list, sizes are tracked incrementally (never
+recomputed by walking entries), and an unbounded lookup returns the
+head version without touching the bound-check loop.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ Version = Tuple[int, int, bytes]
 class MemTable:
     """Mutable in-memory table of all buffered versions per user key."""
 
+    __slots__ = ("_entries", "_bytes", "_count")
+
     def __init__(self) -> None:
         self._entries: Dict[bytes, List[Version]] = {}
         self._bytes = 0
@@ -40,13 +48,21 @@ class MemTable:
     def empty(self) -> bool:
         return self._count == 0
 
+    @property
+    def unique_keys(self) -> int:
+        """Distinct user keys buffered (vs ``len()``, which counts versions)."""
+        return len(self._entries)
+
     def add(self, sequence: int, value_type: int, key: bytes, value: bytes) -> None:
         """Insert a put (TYPE_VALUE) or tombstone (TYPE_DELETION)."""
-        if value_type not in (TYPE_VALUE, TYPE_DELETION):
+        if value_type != TYPE_VALUE and value_type != TYPE_DELETION:
             raise ValueError(f"bad value type {value_type}")
-        versions = self._entries.setdefault(key, [])
         entry = (sequence, value_type, value)
-        if versions and sequence < versions[0][0]:
+        entries = self._entries
+        versions = entries.get(key)
+        if versions is None:
+            entries[key] = [entry]
+        elif sequence < versions[0][0]:
             # out-of-order insert (only happens in WAL replay edge cases):
             # keep the list newest-first
             versions.append(entry)
@@ -68,8 +84,13 @@ class MemTable:
         versions = self._entries.get(key)
         if not versions:
             return None
+        if sequence_bound is None:
+            _, value_type, value = versions[0]
+            if value_type == TYPE_DELETION:
+                return (False, b"")
+            return (True, value)
         for sequence, value_type, value in versions:
-            if sequence_bound is not None and sequence > sequence_bound:
+            if sequence > sequence_bound:
                 continue
             if value_type == TYPE_DELETION:
                 return (False, b"")
@@ -79,8 +100,9 @@ class MemTable:
     def sorted_entries(self) -> Iterator[Tuple[bytes, int, int, bytes]]:
         """Yield (user_key, sequence, type, value): keys ascending,
         versions newest-first within a key (internal-key order)."""
-        for key in sorted(self._entries):
-            for sequence, value_type, value in self._entries[key]:
+        entries = self._entries
+        for key in sorted(entries):
+            for sequence, value_type, value in entries[key]:
                 yield key, sequence, value_type, value
 
     def smallest_key(self) -> bytes:

@@ -26,7 +26,6 @@ from repro.lsm.format import (
     TYPE_DELETION,
     TYPE_VALUE,
     get_fixed64,
-    internal_compare,
     make_internal_key,
     parse_internal_key,
     put_fixed64,
@@ -57,13 +56,15 @@ class TableBuilder:
         self._time = t
         self._block = BlockBuilder()
         self._index = BlockBuilder()
+        self._block_size_limit = options.block_size
         self._pending: List[bytes] = []  # completed data blocks
         self._offset = 0
         self._user_keys: List[bytes] = []
         self.num_entries = 0
         self.smallest: Optional[bytes] = None
         self.largest: Optional[bytes] = None
-        self._last_internal: Optional[bytes] = None
+        self._last_user: Optional[bytes] = None
+        self._last_tag = 0
         self.finished = False
 
     @property
@@ -73,19 +74,23 @@ class TableBuilder:
     def add(self, internal_key: bytes, value: bytes) -> None:
         if self.finished:
             raise RuntimeError("builder already finished")
-        if (
-            self._last_internal is not None
-            and internal_compare(internal_key, self._last_internal) <= 0
+        # ordering check, internal_compare inlined against the cached
+        # (user, tag) of the previous entry: user asc, tag (seq) desc
+        user = internal_key[:-8]
+        tag = int.from_bytes(internal_key[-8:], "little")
+        last_user = self._last_user
+        if last_user is not None and (
+            user < last_user or (user == last_user and tag >= self._last_tag)
         ):
             raise ValueError("table entries must be strictly increasing")
-        self._last_internal = internal_key
+        self._last_user = user
+        self._last_tag = tag
         if self.smallest is None:
             self.smallest = internal_key
         self.largest = internal_key
-        self._block.add(internal_key, value)
-        self._user_keys.append(internal_key[:-8])
+        self._user_keys.append(user)
         self.num_entries += 1
-        if self._block.size_estimate >= self.options.block_size:
+        if self._block.add(internal_key, value) >= self._block_size_limit:
             self._cut_block()
 
     def _cut_block(self) -> None:
@@ -131,11 +136,25 @@ class TableBuilder:
 
 
 def _lower_bound(keys: List[bytes], target: bytes) -> int:
-    """First index whose internal key >= target (internal ordering)."""
+    """First index whose internal key >= target (internal ordering).
+
+    ``internal_compare`` is inlined: the target's user part and tag are
+    sliced once instead of on every probe.
+    """
     lo, hi = 0, len(keys)
+    if lo == hi:
+        return lo
+    target_user = target[:-8]
+    target_tag = get_fixed64(target, len(target) - 8)
     while lo < hi:
-        mid = (lo + hi) // 2
-        if internal_compare(keys[mid], target) < 0:
+        mid = (lo + hi) >> 1
+        key = keys[mid]
+        user = key[:-8]
+        # key < target iff user asc first, then tag (sequence) desc
+        if user < target_user or (
+            user == target_user
+            and get_fixed64(key, len(key) - 8) > target_tag
+        ):
             lo = mid + 1
         else:
             hi = mid
@@ -168,6 +187,11 @@ class Table:
         self.number = number
         self.shared_cache = block_cache
         self._block_cache: Dict[int, Block] = {}
+        # (offset, size) per data block, parsed once instead of two
+        # get_fixed64 calls on every _read_block
+        self._spans: List[Tuple[int, int]] = [
+            (get_fixed64(v, 0), get_fixed64(v, 8)) for v in index.values
+        ]
 
     @classmethod
     def open(
@@ -195,14 +219,13 @@ class Table:
         ), t
 
     def _read_block(self, block_pos: int, at: int) -> Tuple[Block, int]:
-        offset = get_fixed64(self.index.values[block_pos], 0)
-        size = get_fixed64(self.index.values[block_pos], 8)
         if self.shared_cache is not None:
             cached = self.shared_cache.get(self.number, block_pos)
         else:
             cached = self._block_cache.get(block_pos)
         if cached is not None:
             return cached, at
+        offset, size = self._spans[block_pos]
         raw, t = self.handle.read(offset, size, at=at)
         t += self.fs.cpu.block_decode_ns
         block = Block.decode(raw)
@@ -293,12 +316,17 @@ class TableIterator:
     """Forward iterator over one table; blocks are read only when the
     iterator is positioned (lazy, like LevelDB's two-level iterator)."""
 
+    __slots__ = (
+        "table", "time", "_block_pos", "_block", "_entry_pos", "_iter_next_ns"
+    )
+
     def __init__(self, table: Table, at: int) -> None:
         self.table = table
         self.time = at
         self._block_pos = -1
         self._block: Optional[Block] = None
         self._entry_pos = 0
+        self._iter_next_ns = table.fs.cpu.iter_next_ns
 
     def seek_to_first(self) -> None:
         self._block_pos = -1
@@ -342,9 +370,11 @@ class TableIterator:
                 self._advance_block()
 
     def next(self) -> None:
-        if self._block is None:
+        block = self._block
+        if block is None:
             raise StopIteration("iterator exhausted")
-        self.time += self.table.fs.cpu.iter_next_ns
-        self._entry_pos += 1
-        if self._entry_pos >= len(self._block.keys):
+        self.time += self._iter_next_ns
+        pos = self._entry_pos + 1
+        self._entry_pos = pos
+        if pos >= len(block.keys):
             self._advance_block()

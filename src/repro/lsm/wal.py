@@ -39,17 +39,22 @@ HEADER_SIZE = 8
 BatchEntry = Tuple[int, bytes, bytes]
 
 
+#: single-byte encodings of the two value types (TYPE_DELETION, TYPE_VALUE)
+_TYPE_BYTES = (b"\x00", b"\x01")
+
+
 def encode_batch(sequence: int, entries: List[BatchEntry]) -> bytes:
     """Serialize a write batch into one log record."""
     parts = [put_fixed64(sequence), put_fixed32(len(entries))]
+    append = parts.append
     for value_type, key, value in entries:
-        if value_type not in (TYPE_VALUE, TYPE_DELETION):
+        if value_type != TYPE_VALUE and value_type != TYPE_DELETION:
             raise ValueError(f"bad value type {value_type}")
-        parts.append(bytes([value_type]))
-        parts.append(put_varint(len(key)))
-        parts.append(key)
-        parts.append(put_varint(len(value)))
-        parts.append(value)
+        append(_TYPE_BYTES[value_type])
+        append(put_varint(len(key)))
+        append(key)
+        append(put_varint(len(value)))
+        append(value)
     payload = b"".join(parts)
     return put_fixed32(crc32(payload)) + put_fixed32(len(payload)) + payload
 

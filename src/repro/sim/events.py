@@ -5,17 +5,28 @@ NobLSM reclamation poll — register callbacks here. Foreground code calls
 :meth:`EventQueue.run_until` whenever it advances the clock, so background
 work that "would have happened by now" is applied before the foreground
 observes any state.
+
+Hot-path notes: ``run_until`` is called once or more per simulated
+operation, almost always with an empty-or-idle queue, so it keeps an
+allocation-free fast path (peek the heap top, advance the clock, return).
+Cancelled events are removed *lazily*: ``cancel()`` only flips a flag and
+decrements the live counter; the heap is compacted in one O(n) pass when
+cancelled entries outnumber live ones, which keeps both ``__len__`` and
+the scheduling operations O(log n) amortised.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable, List, Optional, Tuple
 
 from repro.sim.clock import VirtualClock
 
 Callback = Callable[[int], None]
+
+#: compaction trigger: at least this many cancelled entries *and* more
+#: cancelled than live (amortises the O(n) rebuild over O(n) cancels)
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Interrupt(Exception):
@@ -36,16 +47,21 @@ class Interrupt(Exception):
 class Event:
     """A scheduled callback. ``cancel()`` prevents a pending firing."""
 
-    __slots__ = ("when", "callback", "cancelled", "seq")
+    __slots__ = ("when", "callback", "cancelled", "seq", "_queue")
 
-    def __init__(self, when: int, callback: Callback, seq: int) -> None:
+    def __init__(self, when: int, callback: Callback, seq: int, queue) -> None:
         self.when = when
         self.callback = callback
         self.cancelled = False
         self.seq = seq
+        self._queue = queue
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._note_cancel()
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
@@ -64,11 +80,34 @@ class EventQueue:
     def __init__(self, clock: VirtualClock) -> None:
         self.clock = clock
         self._heap: List[Tuple[int, int, Event]] = []
-        self._counter = itertools.count()
+        self._next_seq = 0
         self._running = False
+        self._live = 0       # pending (non-cancelled) events
+        self._cancelled = 0  # cancelled events still sitting in the heap
 
     def __len__(self) -> int:
-        return sum(1 for (_, _, ev) in self._heap if not ev.cancelled)
+        """Number of pending events — O(1) via the live counter."""
+        return self._live
+
+    def _note_cancel(self) -> None:
+        """A pending event was cancelled: update counters, maybe compact."""
+        self._live -= 1
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled > self._live
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries in one pass (lazy-deletion compaction).
+
+        ``(when, seq)`` ordering is preserved by re-heapifying the
+        filtered list, so firing order is unchanged.
+        """
+        self._heap = [item for item in self._heap if not item[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def schedule(self, when: int, callback: Callback) -> Event:
         """Schedule ``callback(fire_time)`` at absolute virtual time ``when``.
@@ -76,9 +115,15 @@ class EventQueue:
         Scheduling in the past is clamped to the present: the event fires at
         the next ``run_until``.
         """
-        when = max(int(when), self.clock.now)
-        event = Event(when, callback, next(self._counter))
-        heapq.heappush(self._heap, (when, event.seq, event))
+        when = int(when)
+        now = self.clock.now
+        if when < now:
+            when = now
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(when, callback, seq, self)
+        heapq.heappush(self._heap, (when, seq, event))
+        self._live += 1
         return event
 
     def schedule_after(self, delay: int, callback: Callback) -> Event:
@@ -103,11 +148,13 @@ class EventQueue:
 
     def next_event_time(self) -> Optional[int]:
         """Timestamp of the earliest pending event, or ``None``."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        if not heap:
             return None
-        return self._heap[0][0]
+        return heap[0][0]
 
     def run_until(self, timestamp: int) -> int:
         """Fire every pending event at or before ``timestamp``.
@@ -120,22 +167,29 @@ class EventQueue:
         """
         if self._running:
             return 0
+        heap = self._heap
+        clock = self.clock
+        # Fast path: nothing due (the overwhelmingly common case on the
+        # per-op call sites) — no flag flips, no try/finally frame cost.
+        if not heap or heap[0][0] > timestamp:
+            clock.advance_to(timestamp)
+            return 0
         self._running = True
         fired = 0
+        heappop = heapq.heappop
         try:
-            while True:
-                nxt = self.next_event_time()
-                if nxt is None or nxt > timestamp:
-                    break
-                _, _, event = heapq.heappop(self._heap)
+            while heap and heap[0][0] <= timestamp:
+                _, _, event = heappop(heap)
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
-                self.clock.advance_to(event.when)
+                self._live -= 1
+                clock.advance_to(event.when)
                 event.callback(event.when)
                 fired += 1
         finally:
             self._running = False
-        self.clock.advance_to(timestamp)
+        clock.advance_to(timestamp)
         return fired
 
     def drain(self, limit: int = 1_000_000) -> int:

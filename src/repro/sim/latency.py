@@ -26,7 +26,7 @@ MIB = 1024 * 1024
 GIB = 1024 * 1024 * 1024
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeviceProfile:
     """Bandwidth/latency parameters of a simulated block device.
 
@@ -156,7 +156,7 @@ SLOW_HDD_LIKE = DeviceProfile(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CpuProfile:
     """Per-operation CPU costs charged to the calling (virtual) thread.
 

@@ -23,7 +23,7 @@ from typing import Dict, List
 from repro.sim.latency import GIB
 
 
-@dataclass
+@dataclass(slots=True)
 class DeviceStats:
     """Device-side accounting, updated by :class:`repro.sim.ssd.SSD`.
 
@@ -77,7 +77,7 @@ class DeviceStats:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class SyncStats:
     """Application-level sync accounting (Table 1 of the paper).
 

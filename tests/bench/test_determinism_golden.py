@@ -59,6 +59,30 @@ def test_parallelism_document_schema():
         assert "put" in row["latency_us"]
 
 
+def test_fillrandom_document_byte_identical_serial_and_parallel():
+    """Full ``repro.bench/1`` fillrandom documents are byte-identical
+    across runs, at both 1 channel x 1 thread and 4 channels x 2
+    threads — the acceptance lock for host-side hot-path work: any
+    optimisation that leaks into virtual time diffs here."""
+    for channels, threads in ((1, 1), (4, 2)):
+        def run():
+            config = ScaledConfig(
+                scale=20000.0,
+                observe=True,
+                num_channels=channels,
+                background_threads=threads,
+                seed=1234,
+            )
+            result, _, _ = run_fillrandom("noblsm", config)
+            return dump(
+                [result],
+                {"target": "fillrandom", "ch": channels, "thr": threads},
+            )
+
+        first, second = run(), run()
+        assert first == second, f"diverged at {channels}ch x {threads}thr"
+
+
 def test_single_run_repeatable_across_instances():
     """One observed parallel fillrandom, run twice, bit-for-bit equal —
     down to the full stats record and latency percentiles."""

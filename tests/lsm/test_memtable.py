@@ -86,3 +86,14 @@ def test_smallest_largest(memtable):
         memtable.add(i + 1, TYPE_VALUE, key, b"v")
     assert memtable.smallest_key() == b"a"
     assert memtable.largest_key() == b"z"
+
+
+def test_unique_keys_counts_distinct_user_keys(memtable):
+    assert memtable.unique_keys == 0
+    memtable.add(1, TYPE_VALUE, b"a", b"v1")
+    memtable.add(2, TYPE_VALUE, b"b", b"v2")
+    assert memtable.unique_keys == 2
+    # another version of an existing key adds an entry, not a key
+    memtable.add(3, TYPE_VALUE, b"a", b"v3")
+    assert memtable.unique_keys == 2
+    assert len(memtable) == 3

@@ -4,6 +4,7 @@ import time
 
 from repro.bench.db_bench import run_fillrandom
 from repro.bench.harness import ScaledConfig
+from repro.obs import metrics as metrics_module
 from repro.obs import spans as spans_module
 
 
@@ -25,6 +26,30 @@ def test_disabled_run_creates_no_spans(monkeypatch):
         return original(self, *args, **kwargs)
 
     monkeypatch.setattr(spans_module.Span, "__init__", counting_init)
+    run_once()  # observe=False, trace=False -> NULL_REGISTRY everywhere
+    assert not created
+
+
+def test_disabled_run_creates_no_metric_instruments(monkeypatch):
+    """NULL_REGISTRY runs must not instantiate any counter/gauge/histogram.
+
+    The shared NULL_* singletons are created at import time, so any
+    instantiation observed here would be a hot path allocating a real
+    instrument despite observability being disabled.
+    """
+    created = []
+    for cls in (
+        metrics_module.Counter,
+        metrics_module.Gauge,
+        metrics_module.Histogram,
+    ):
+        original = cls.__init__
+
+        def counting_init(self, *args, _original=original, **kwargs):
+            created.append(type(self).__name__)
+            return _original(self, *args, **kwargs)
+
+        monkeypatch.setattr(cls, "__init__", counting_init)
     run_once()  # observe=False, trace=False -> NULL_REGISTRY everywhere
     assert not created
 

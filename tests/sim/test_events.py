@@ -120,3 +120,17 @@ def test_drain_runs_everything(queue):
         queue.schedule(when, lambda t: fired.append(t))
     queue.drain()
     assert fired == [5, 15, 25]
+
+
+def test_len_tracks_fired_and_cancelled_through_run(queue):
+    """The live counter stays exact across firing, cancelling, and the
+    lazy heap compaction that cancelled entries may trigger."""
+    events = [queue.schedule(10 * (i + 1), lambda t: None) for i in range(8)]
+    assert len(queue) == 8
+    for e in events[::2]:
+        e.cancel()
+    assert len(queue) == 4
+    queue.run_until(45)  # fires the live events at 20 and 40
+    assert len(queue) == 2
+    queue.run_until(1000)
+    assert len(queue) == 0
