@@ -103,9 +103,13 @@ class EventQueue:
         """Drop cancelled entries in one pass (lazy-deletion compaction).
 
         ``(when, seq)`` ordering is preserved by re-heapifying the
-        filtered list, so firing order is unchanged.
+        filtered list, so firing order is unchanged. The filter is applied
+        *in place* (slice assignment) because ``run_until`` drains through
+        a local alias of the heap; rebinding ``self._heap`` would leave
+        that alias pointing at a stale list when a callback's cancel trips
+        compaction mid-drain.
         """
-        self._heap = [item for item in self._heap if not item[2].cancelled]
+        self._heap[:] = [item for item in self._heap if not item[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
 
@@ -184,6 +188,10 @@ class EventQueue:
                     self._cancelled -= 1
                     continue
                 self._live -= 1
+                # Detach before firing: a later cancel() on an event that
+                # already fired (stale timer handles, the crash harness
+                # cancelling its interrupt) must not touch the counters.
+                event._queue = None
                 clock.advance_to(event.when)
                 event.callback(event.when)
                 fired += 1

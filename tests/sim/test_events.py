@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.clock import VirtualClock
-from repro.sim.events import EventQueue
+from repro.sim.events import _COMPACT_MIN_CANCELLED, EventQueue, Interrupt
 
 
 @pytest.fixture()
@@ -133,4 +133,62 @@ def test_len_tracks_fired_and_cancelled_through_run(queue):
     queue.run_until(45)  # fires the live events at 20 and 40
     assert len(queue) == 2
     queue.run_until(1000)
+    assert len(queue) == 0
+
+
+def test_callback_cancel_triggering_compaction_mid_drain(queue):
+    """A callback that cancels enough events to trip heap compaction while
+    run_until is draining must not desync the drain loop: remaining live
+    events fire exactly once, cancelled ones never fire."""
+    fired = []
+    # Enough future events that cancelling them trips the compaction
+    # threshold (cancelled >= _COMPACT_MIN_CANCELLED and cancelled > live).
+    doomed = [
+        queue.schedule(1000 + i, lambda t: fired.append(("doomed", t)))
+        for i in range(_COMPACT_MIN_CANCELLED + 10)
+    ]
+
+    def cancel_all(t):
+        fired.append(("canceller", t))
+        for e in doomed:
+            e.cancel()
+        # Work scheduled after compaction must still be seen by the drain.
+        queue.schedule(t + 5, lambda t2: fired.append(("late", t2)))
+
+    queue.schedule(10, cancel_all)
+    queue.schedule(20, lambda t: fired.append(("survivor", t)))
+    queue.run_until(2000)
+    assert fired == [("canceller", 10), ("late", 15), ("survivor", 20)]
+    assert len(queue) == 0
+    assert queue._cancelled == 0
+
+
+def test_cancel_after_fire_is_noop(queue):
+    """Cancelling an event that already fired must not corrupt the
+    pending/cancelled counters (stale timer handles do this)."""
+    fired = []
+    event = queue.schedule(10, lambda t: fired.append(t))
+    queue.schedule(20, lambda t: None)
+    queue.run_until(10)
+    assert fired == [10]
+    assert len(queue) == 1
+    event.cancel()  # stale handle: event is long gone from the heap
+    event.cancel()
+    assert len(queue) == 1
+    assert queue._cancelled == 0
+    queue.run_until(100)
+    assert len(queue) == 0
+
+
+def test_cancel_after_interrupt_fired_is_noop(queue):
+    """The crash harness cancels its interrupt after it fired; that must
+    leave the queue consistent."""
+    interrupt = queue.schedule_interrupt(50)
+    queue.schedule(100, lambda t: None)
+    with pytest.raises(Interrupt):
+        queue.run_until(200)
+    interrupt.cancel()
+    assert len(queue) == 1
+    assert queue._cancelled == 0
+    queue.run_until(200)
     assert len(queue) == 0
