@@ -3,7 +3,13 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-full figures refresh-baselines perf-gate \
-	profile speed speed-gate refresh-speed-baseline clean
+	profile speed speed-gate refresh-speed-baseline \
+	soak soak-gate refresh-soak-baseline clean
+
+# CI-sized soak: short enough for a gate job, long enough for the tree
+# to reach the bursty-compaction regime. refresh-soak-baseline MUST use
+# the same parameters or the gate compares different experiments.
+SOAK_GATE_ARGS = --rate 40000 --duration 0.3 --window-ms 25
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -67,6 +73,27 @@ speed-gate:
 # Re-record the wall-clock baseline on the machine that runs the gate.
 refresh-speed-baseline:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.cli speed --json benchmarks/baselines
+
+# Long-horizon stability soak: untuned vs rate-limited + dynamic
+# slowdown, windowed p50/p99/p99.9 + stall timeline (repro.soak/1).
+soak:
+	mkdir -p results
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli soak --json results
+
+# CI's stability gate: the CI-sized soak pair vs the recorded baseline.
+# Both rows (soak, soak-tuned) are gated, so a change that destroys the
+# tuned variant's stability fails even if the untuned row is unchanged.
+soak-gate:
+	rm -rf results/soak-gate && mkdir -p results/soak-gate
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli soak $(SOAK_GATE_ARGS) \
+		--json results/soak-gate
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli compare \
+		benchmarks/baselines/soak.json results/soak-gate/soak.json
+
+# Re-record the stability baseline after a deliberate behaviour change.
+refresh-soak-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli soak $(SOAK_GATE_ARGS) \
+		--json benchmarks/baselines
 
 artifacts: test bench
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

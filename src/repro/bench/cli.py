@@ -18,6 +18,8 @@ Usage::
                                        [--scale 2000] [--stores noblsm]
     python -m repro.bench speed        [--repeats 3] [--warmup 1]
                                        [--scale 2000] [--stores noblsm]
+    python -m repro.bench soak         [--rate 40000] [--duration 0.75]
+                                       [--window-ms 25] [--stores noblsm]
     python -m repro.bench compare BASELINE.json CURRENT.json
                                        [--thresholds us_per_op=0.1,...]
 
@@ -30,9 +32,13 @@ causal tracing (``--trace-out`` writes a Perfetto-loadable Chrome
 trace and prints the critical-path attribution table). ``speed`` times
 the *simulator itself* — fillrandom run ``--repeats`` times with
 ``--warmup`` discarded runs, reported as wall-clock ops/sec
-(``repro.speed/1``). ``compare`` diffs two ``repro.bench/1`` (or
-``repro.speed/1``) JSONs and exits non-zero on a regression — the CI
-perf gate. ``all`` regenerates the figures only.
+(``repro.speed/1``). ``soak`` runs the long-horizon stability pair —
+an open-loop Poisson workload measured in windowed p50/p99/p99.9, once
+with stock options and once with the rate limiter + dynamic slowdown —
+and prints ascii timelines (``repro.soak/1``). ``compare`` diffs two
+``repro.bench/1`` / ``repro.speed/1`` / ``repro.soak/1`` JSONs and
+exits non-zero on a regression — the CI perf gate. ``all`` regenerates
+the figures only.
 """
 
 from __future__ import annotations
@@ -355,6 +361,56 @@ def _run_speed(args) -> int:
     return 0
 
 
+def _run_soak(args) -> int:
+    """The ``soak`` target: untuned + tuned stability pair, JSON + timeline."""
+    from repro.bench.soak import (
+        SoakConfig,
+        render_soak,
+        run_soak_pair,
+        write_soak_json,
+    )
+
+    store = args.stores.split(",")[0] if args.stores else "noblsm"
+    scale = args.scale or 2000.0
+    seed = args.seed if args.seed else 1234
+    channels = int(args.channels.split(",")[0]) if args.channels else 1
+    threads = int(args.threads.split(",")[0]) if args.threads else 1
+    config = SoakConfig(
+        store=store,
+        scale=scale,
+        seed=seed,
+        arrival_rate=args.rate,
+        duration_s=args.duration,
+        window_ms=args.window_ms,
+        num_channels=channels,
+        background_threads=threads,
+    )
+    results = run_soak_pair(config)
+    rendered = render_soak(results)
+    print(rendered)
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+        path = os.path.join(args.json, "soak.json")
+        write_soak_json(
+            path,
+            results,
+            meta={
+                "target": "soak",
+                "store": store,
+                "scale": scale,
+                "seed": seed,
+                "arrival_rate": args.rate,
+                "duration_s": args.duration,
+                "window_ms": args.window_ms,
+            },
+        )
+        timeline = os.path.join(args.json, "soak-timeline.txt")
+        with open(timeline, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"\nwrote {path} and {timeline}")
+    return 0
+
+
 def _run_compare(args) -> int:
     """The ``compare`` target: perf gate over two repro.bench/1 files."""
     from repro.bench.compare import (
@@ -390,7 +446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "target",
         choices=ALL_TARGETS
         + ["all", "crash-matrix", "parallelism", "fillrandom", "speed",
-           "compare"],
+           "soak", "compare"],
     )
     parser.add_argument(
         "paths",
@@ -490,6 +546,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="speed: discarded warm-up runs before measuring (default 1)",
     )
     parser.add_argument(
+        "--rate",
+        type=float,
+        default=40_000.0,
+        help="soak: open-loop arrival rate, ops per virtual second "
+             "(default 40000)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=0.75,
+        help="soak: horizon in virtual seconds (default 0.75)",
+    )
+    parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=25.0,
+        help="soak: percentile window width in virtual ms (default 25)",
+    )
+    parser.add_argument(
         "--thresholds",
         type=str,
         default=None,
@@ -505,6 +580,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_fillrandom(args)
     if args.target == "speed":
         return _run_speed(args)
+    if args.target == "soak":
+        return _run_soak(args)
     if args.target == "compare":
         return _run_compare(args)
     stores = args.stores.split(",") if args.stores else None

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 SCHEMA = "repro.bench/1"
 SPEED_SCHEMA = "repro.speed/1"
+SOAK_SCHEMA = "repro.soak/1"
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,21 @@ DEFAULT_METRICS: Tuple[MetricSpec, ...] = (
 #: never experience.
 SPEED_METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec("ops_per_sec", 0.50, 0.0, higher_is_better=True),
+)
+
+#: the ``repro.soak/1`` stability gate (all lower-is-better, all
+#: deterministic virtual-time numbers). ``windowed_p999_us`` is the
+#: worst windowed p99.9 — the spike a user actually hits;
+#: ``p999_ratio`` is that spike relative to the median window, the
+#: paper-style stability measure; ``max_stall_ns`` the single longest
+#: write stall; ``blocked_ns`` the unified stall + slowdown total.
+#: Floors absorb near-zero wobble: a tuned run whose worst window is a
+#: few microseconds must not fail the gate over nanosecond noise.
+SOAK_METRICS: Tuple[MetricSpec, ...] = (
+    MetricSpec("windowed_p999_us", 0.25, 50.0),
+    MetricSpec("p999_ratio", 0.25, 0.5),
+    MetricSpec("max_stall_ns", 0.25, 1e6),
+    MetricSpec("blocked_ns", 0.25, 5e6),
 )
 
 #: row-identity fields; extras are included when present
@@ -153,9 +169,10 @@ def parse_thresholds(spec: Optional[str]) -> Optional[Dict[str, float]]:
 
 def _check_schema(doc: Dict[str, object], which: str) -> str:
     schema = doc.get("schema") if isinstance(doc, dict) else None
-    if schema not in (SCHEMA, SPEED_SCHEMA):
+    if schema not in (SCHEMA, SPEED_SCHEMA, SOAK_SCHEMA):
         raise ValueError(
-            f"{which} document is not {SCHEMA!r} or {SPEED_SCHEMA!r} "
+            f"{which} document is not {SCHEMA!r}, {SPEED_SCHEMA!r} or "
+            f"{SOAK_SCHEMA!r} "
             f"(schema={schema if isinstance(doc, dict) else doc!r})"
         )
     if not isinstance(doc.get("results"), list):
@@ -181,7 +198,12 @@ def compare_documents(
             f"schema mismatch: baseline is {base_schema!r}, "
             f"current is {cur_schema!r}"
         )
-    metric_set = SPEED_METRICS if base_schema == SPEED_SCHEMA else DEFAULT_METRICS
+    if base_schema == SPEED_SCHEMA:
+        metric_set = SPEED_METRICS
+    elif base_schema == SOAK_SCHEMA:
+        metric_set = SOAK_METRICS
+    else:
+        metric_set = DEFAULT_METRICS
     metrics = [
         MetricSpec(
             m.name,

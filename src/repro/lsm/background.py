@@ -46,6 +46,9 @@ class LazyExecutor:
         self.jobs = 0
         self.busy_ns = 0
         self.stall_ns = 0
+        #: virtual time jobs were pushed back by the compaction rate
+        #: limiter (the store calls :meth:`note_throttle` at admit time)
+        self.throttle_ns = 0
         self.thread_jobs: List[int] = [0] * num_threads
         self.thread_busy_ns: List[int] = [0] * num_threads
         self._name = name
@@ -122,6 +125,18 @@ class LazyExecutor:
     def idle_at(self, at: int) -> bool:
         return all(free <= at for free in self._free_at)
 
+    def note_throttle(self, ns: int) -> None:
+        """Attribute rate-limiter delay imposed on a job's ready time.
+
+        Distinct from ``stall_ns`` (queueing behind busy threads): this
+        is time the *scheduler chose* to defer work to shape compaction
+        bandwidth; the executor keeps both so the soak report can tell
+        "not enough threads" apart from "bandwidth budget".
+        """
+        self.throttle_ns += int(ns)
+        if self._observe:
+            self._obs.counter("bg.throttle_ns").inc(int(ns))
+
     def snapshot(self) -> "dict[str, object]":
         """Unified stats view (see :mod:`repro.sim.stats` contract)."""
         return {
@@ -129,6 +144,7 @@ class LazyExecutor:
             "jobs": self.jobs,
             "busy_ns": self.busy_ns,
             "stall_ns": self.stall_ns,
+            "throttle_ns": self.throttle_ns,
             "thread_jobs": list(self.thread_jobs),
             "thread_busy_ns": list(self.thread_busy_ns),
         }

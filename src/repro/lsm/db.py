@@ -59,6 +59,7 @@ from repro.lsm.iterator import (
 )
 from repro.lsm.memtable import MemTable
 from repro.lsm.options import Options
+from repro.lsm.ratelimit import CompactionRateLimiter
 from repro.lsm.sstable import TableBuilder
 from repro.obs.spans import NULL_SPAN, Span
 from repro.lsm.tablecache import TableCache
@@ -111,10 +112,22 @@ class Snapshot:
 class DBStats:
     """Store-level counters for the evaluation harness.
 
-    ``stall_ns`` is the total write-stall time; it is attributed into
-    ``stall_memtable_ns`` (writer waiting for the sealed memtable's
-    dump) and ``stall_l0_stop_ns`` (the L0 stop trigger). The 1 ms L0
-    slowdown is tracked separately in ``slowdown_ns``.
+    Stall accounting contract: ``stall_ns`` is the total *hard* write-
+    stall time — the writer fully blocked — and is exactly attributed
+    into ``stall_memtable_ns`` (writer waiting for the sealed memtable's
+    dump) and ``stall_l0_stop_ns`` (the L0 stop trigger), so
+    ``stall_ns == stall_memtable_ns + stall_l0_stop_ns`` always holds.
+    The L0 slowdown (LevelDB's 1 ms sleep, or the dynamic delay when
+    ``Options.dynamic_slowdown`` is on) is a *soft* delay and is kept
+    separate in ``slowdown_ns`` — LevelDB itself distinguishes the two.
+    Consumers that want "time the writer was not making progress" must
+    use the unified :attr:`blocked_ns` total (= stall + slowdown); the
+    soak harness and the compare gate do.
+
+    ``l0_stop_abandoned`` counts the times a writer blocked on the L0
+    stop trigger was released with L0 *still* at/above the trigger
+    because no runnable background job could drain it (see
+    :meth:`DB._wait_for_l0_drain`).
     """
 
     puts: int = 0
@@ -129,6 +142,7 @@ class DBStats:
     stall_memtable_ns: int = 0
     stall_l0_stop_ns: int = 0
     slowdown_ns: int = 0
+    l0_stop_abandoned: int = 0
     bytes_flushed: int = 0
     bytes_compacted_in: int = 0
     bytes_compacted_out: int = 0
@@ -138,6 +152,11 @@ class DBStats:
     #: during recovery (the paper: "some pairs in the logs are broken")
     wal_tail_drops: int = 0
     extras: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def blocked_ns(self) -> int:
+        """Total time writers were not making progress: stalls + slowdowns."""
+        return self.stall_ns + self.slowdown_ns
 
     def reset(self) -> None:
         extras = self.extras
@@ -160,6 +179,8 @@ class DBStats:
             "stall_memtable_ns": self.stall_memtable_ns,
             "stall_l0_stop_ns": self.stall_l0_stop_ns,
             "slowdown_ns": self.slowdown_ns,
+            "blocked_ns": self.blocked_ns,
+            "l0_stop_abandoned": self.l0_stop_abandoned,
             "bytes_flushed": self.bytes_flushed,
             "bytes_compacted_in": self.bytes_compacted_in,
             "bytes_compacted_out": self.bytes_compacted_out,
@@ -223,6 +244,19 @@ class DB:
         )
         #: open virtual-time spans of concurrent compactions (threads > 1)
         self._schedule = CompactionSchedule()
+        #: token-bucket shaping of major-compaction bandwidth; ``None``
+        #: (the default) keeps the seed's unthrottled behaviour
+        self._ratelimiter: Optional[CompactionRateLimiter] = None
+        if self.options.compaction_rate_bytes_per_sec > 0:
+            self._ratelimiter = CompactionRateLimiter(
+                self.options.compaction_rate_bytes_per_sec,
+                self.options.compaction_rate_burst_bytes,
+                fair=self.options.compaction_rate_fair,
+            )
+            if self._observe:
+                self.obs.register_source(
+                    f"db.{dbname}.ratelimit", self._ratelimiter.snapshot
+                )
         self.mem = MemTable()
         self._wal: Optional[LogWriter] = None
         self._wal_number = 0
@@ -381,28 +415,46 @@ class DB:
     def _l0_live_count(self) -> int:
         return sum(1 for f in self.versions.current.files[0] if not f.shadow)
 
-    def _pick_background_work(self) -> Optional[BackgroundJob]:
-        """Next background job, LevelDB priority: dump, size, seek."""
+    def _pick_background_work(
+        self, horizon: Optional[int] = None
+    ) -> Optional[BackgroundJob]:
+        """Next background job, LevelDB priority: dump, size, seek.
+
+        ``horizon`` is the caller's current virtual time when it only
+        wants work that may start by then: a rate-limited major whose
+        admitted start lies beyond the horizon is *held back* (no tokens
+        consumed) rather than dispatched with a far-future start — a
+        dispatched job occupies its worker's whole timeline, so an
+        eagerly dispatched throttled major would make every later
+        memtable dump queue behind it.
+        """
         if self._pending_imm is not None and not self._imm_dump_running:
             imm, old_log, ready = self._pending_imm
             return ready, (
                 lambda start: self._minor_compaction_work(imm, old_log, start)
             )
-        job = self._pick_major_job()
+        job = self._pick_major_job(horizon)
         if job is not None:
             return job
         if self._pending_seek is not None:
             level, meta, ready = self._pending_seek
-            self._pending_seek = None
             seek = pick_seek_compaction(self.versions, self.options, level, meta)
-            if seek is not None:
-                ready = self._deferred_ready(seek, ready)
-                return ready, (
-                    lambda start, c=seek: self._major_compaction_work(c, start)
-                )
+            if seek is None:
+                self._pending_seek = None
+                return None
+            ready = self._deferred_ready(seek, ready)
+            admitted = self._admit_major(seek, ready, horizon)
+            if admitted is None:
+                return None  # throttled past the horizon; retry later
+            self._pending_seek = None
+            return admitted, (
+                lambda start, c=seek: self._major_compaction_work(c, start)
+            )
         return None
 
-    def _pick_major_job(self) -> Optional[BackgroundJob]:
+    def _pick_major_job(
+        self, horizon: Optional[int] = None
+    ) -> Optional[BackgroundJob]:
         """The next size compaction as a schedulable job.
 
         Single-threaded stores keep LevelDB's exact behaviour: the one
@@ -417,10 +469,18 @@ class DB:
         dropped, never reordered past the dependency.
         """
         if self.bg.num_threads == 1:
-            compaction = self._pick_size_compaction()
+            compaction = self._fair_override(self._pick_size_compaction())
             if compaction is None:
                 return None
-            return 0, (
+            ready = 0
+            if self._ratelimiter is not None:
+                admitted = self._admit_major(
+                    compaction, self.bg.next_start(0), horizon
+                )
+                if admitted is None:
+                    return None
+                ready = admitted
+            return ready, (
                 lambda start, c=compaction: self._major_compaction_work(c, start)
             )
         start_hint = self.bg.next_start(0)
@@ -432,7 +492,15 @@ class DB:
                 compaction.touched_levels(), begin, end, start_hint
             )
             if clearance is None:
-                return 0, (
+                ready = 0
+                if self._ratelimiter is not None:
+                    admitted = self._admit_major(
+                        compaction, start_hint, horizon
+                    )
+                    if admitted is None:
+                        continue  # throttled past the horizon; next candidate
+                    ready = admitted
+                return ready, (
                     lambda start, c=compaction: self._major_compaction_work(
                         c, start
                     )
@@ -442,8 +510,11 @@ class DB:
         if best is None:
             return None
         clearance, compaction = best
+        admitted = self._admit_major(compaction, clearance, horizon)
+        if admitted is None:
+            return None  # throttled past the horizon; retry later
         self._schedule.note_deferral()
-        if self._tracer is not None and clearance > start_hint:
+        if self._observe and clearance > start_hint:
             self.obs.start_span(
                 "lsm.write_stall",
                 start_hint,
@@ -451,7 +522,7 @@ class DB:
                 level=compaction.level,
                 output_level=compaction.output_level,
             ).end(clearance)
-        return clearance, (
+        return admitted, (
             lambda start, c=compaction: self._major_compaction_work(c, start)
         )
 
@@ -477,6 +548,11 @@ class DB:
             ),
             key=lambda level: (-self.versions.level_score(level), level),
         )
+        if self._fair_l0_pressure() and 0 in levels:
+            # fair mode: the L0 drain goes first even when a deeper
+            # level's score is higher — it is what unblocks writers
+            levels.remove(0)
+            levels.insert(0, 0)
         for level in levels:
             compaction = pick_size_compaction(
                 self.versions, self.options, level=level
@@ -497,7 +573,7 @@ class DB:
             return ready
         if clearance > ready:
             self._schedule.note_deferral()
-            if self._tracer is not None and clearance > start_hint:
+            if self._observe and clearance > start_hint:
                 self.obs.start_span(
                     "lsm.write_stall",
                     start_hint,
@@ -506,6 +582,79 @@ class DB:
                     output_level=compaction.output_level,
                 ).end(clearance)
         return max(ready, clearance)
+
+    def _fair_l0_pressure(self) -> bool:
+        """True when fair-mode scheduling should prioritize the L0 drain."""
+        limiter = self._ratelimiter
+        return (
+            limiter is not None
+            and limiter.fair
+            and self._l0_live_count() >= self.options.l0_compaction_trigger
+        )
+
+    def _fair_override(self, compaction: Optional[Compaction]) -> Optional[Compaction]:
+        """Fair mode: swap a deeper pick for the L0 drain under pressure.
+
+        LevelDB's picker chooses the single highest-score level, which
+        under bursty debt is often L1+ while L0 climbs toward the
+        slowdown trigger; with a fair-mode rate limiter the L0->L1
+        compaction preempts that pick, so bandwidth shaping never
+        leaves the writer-unblocking work sitting behind deep majors.
+        """
+        if compaction is not None and compaction.level == 0:
+            return compaction
+        if not self._fair_l0_pressure():
+            return compaction
+        l0 = pick_size_compaction(self.versions, self.options, level=0)
+        return l0 if l0 is not None else compaction
+
+    def _admit_major(
+        self,
+        compaction: Compaction,
+        ready: int,
+        horizon: Optional[int] = None,
+    ) -> Optional[int]:
+        """Consult the compaction rate limiter for a major's start time.
+
+        Without a limiter this is the identity. With one, the job's
+        ready time is pushed until the token bucket covers its input
+        bytes; in fair mode an L0->L1 compaction bypasses the delay
+        whenever ``l0_live_count`` has reached the compaction trigger —
+        i.e. whenever L0 is on its way toward the slowdown trigger —
+        because shaping deep-level bandwidth must never starve the work
+        that unblocks writers (urgent jobs still debit the bucket, so
+        deep-level work pays for them).
+
+        With a ``horizon``, a job whose admitted start would land beyond
+        it returns ``None`` — *held back*, tokens untouched — so eager
+        dispatch never parks a throttled major on a worker's timeline
+        ahead of unthrottled work. Throttle time is attributed on the
+        executor (``bg.throttle_ns``) and, when observing, the
+        ``db.compaction.throttle_ns`` counter.
+        """
+        limiter = self._ratelimiter
+        if limiter is None:
+            return ready
+        urgent = (
+            limiter.fair
+            and compaction.level == 0
+            and self._l0_live_count() >= self.options.l0_compaction_trigger
+        )
+        if horizon is not None:
+            start = limiter.peek(ready, compaction.input_bytes, urgent=urgent)
+            if start > horizon:
+                limiter.note_held()
+                return None
+        admitted = limiter.admit(
+            ready, compaction.input_bytes, urgent=urgent
+        )
+        if admitted > ready:
+            self.bg.note_throttle(admitted - ready)
+            if self._observe:
+                self.obs.counter("db.compaction.throttle_ns").inc(
+                    admitted - ready
+                )
+        return admitted
 
     def _note_inflight(
         self,
@@ -523,9 +672,15 @@ class DB:
         return pick_size_compaction(self.versions, self.options)
 
     def _advance_background(self, t: int) -> None:
-        """Run pending background jobs whose start falls at or before ``t``."""
+        """Run pending background jobs whose start falls at or before ``t``.
+
+        The horizon ``t`` is passed to the picker so rate-limited majors
+        that cannot start by now stay queued (they are retried on the
+        next poll, once the clock has reached their admitted start)
+        instead of eagerly occupying a worker's future timeline.
+        """
         while self.bg.earliest_free() <= t:
-            picked = self._pick_background_work()
+            picked = self._pick_background_work(horizon=t)
             if picked is None:
                 return
             ready, work = picked
@@ -663,8 +818,14 @@ class DB:
     def _note_stall(
         self, cause: str, start: int, end: int, parent: Optional[Span] = None
     ) -> None:
-        """Emit one ``lsm.write_stall`` span with its cause label."""
-        if end <= start or self._tracer is None:
+        """Emit one ``lsm.write_stall`` span with its cause label.
+
+        The cause-labelled span is emitted for *every* observed run
+        (``--observe`` alone suffices); only the per-op ``stall.<cause>``
+        child segment additionally requires a tracer, because its parent
+        ``db.write`` span exists only when tracing.
+        """
+        if end <= start or not self._observe:
             return
         self.obs.start_span("lsm.write_stall", start, cause=cause).end(end)
         if parent is not None:
@@ -681,11 +842,15 @@ class DB:
                 and l0_count >= self.options.l0_slowdown_writes_trigger
                 and l0_count < self.options.l0_stop_writes_trigger
             ):
-                t += MILLISECOND
-                self.stats.slowdown_ns += MILLISECOND
+                if self.options.dynamic_slowdown:
+                    delay = self._dynamic_slowdown_ns(l0_count)
+                else:
+                    delay = MILLISECOND
+                t += delay
+                self.stats.slowdown_ns += delay
                 if self._observe:
-                    self._stall_slowdown.inc(MILLISECOND)
-                self._note_stall("l0_slowdown", t - MILLISECOND, t, span)
+                    self._stall_slowdown.inc(delay)
+                self._note_stall("l0_slowdown", t - delay, t, span)
                 allow_delay = False
                 self._advance_background(t)
                 continue
@@ -724,16 +889,53 @@ class DB:
             if span is not None and t > seg:
                 span.child("memtable.switch", seg).end(t)
 
+    def _dynamic_slowdown_ns(self, l0_count: int) -> int:
+        """RocksDB-style slowdown delay scaled to L0 debt.
+
+        The delay ramps quadratically from ``dynamic_slowdown_min_ns``
+        at the first file over the slowdown trigger to
+        ``dynamic_slowdown_max_ns`` just below the stop trigger: gentle
+        back-pressure early (cheap writes keep flowing) and aggressive
+        back-pressure late (background work gets virtual time *before*
+        the writer hits the hard L0 stop — the p99.9 killer).
+        """
+        opts = self.options
+        span_files = (
+            opts.l0_stop_writes_trigger - opts.l0_slowdown_writes_trigger
+        )
+        debt = l0_count - opts.l0_slowdown_writes_trigger + 1  # 1..span
+        lo = opts.dynamic_slowdown_min_ns
+        hi = opts.dynamic_slowdown_max_ns
+        return lo + (hi - lo) * debt * debt // (span_files * span_files)
+
     def _wait_for_l0_drain(self, at: int) -> int:
-        """Blocked writer: run background jobs until L0 falls below stop."""
+        """Blocked writer: run background jobs until L0 falls below stop.
+
+        Intended semantics: the writer stays blocked while background
+        jobs drain L0 below ``l0_stop_writes_trigger``. Two escapes
+        exist so the simulation cannot livelock: the background picker
+        may return no runnable job (``None`` — e.g. a subclass picker
+        declines while L0 is full of shadows), and a 100 000-iteration
+        cap bounds the loop against a picker that keeps yielding jobs
+        that never reduce L0. Either way the writer *proceeds with L0
+        still at/above the stop trigger*; that escape must be visible,
+        not silent — it is counted in ``stats.l0_stop_abandoned`` and
+        the ``db.stall.l0_stop_abandoned`` counter. The cap itself is
+        asserted unreachable for every in-tree store by the stall-
+        accounting tests.
+        """
         t = at
         for _ in range(100_000):
             if self._l0_live_count() < self.options.l0_stop_writes_trigger:
-                break
+                return t
             done = self._run_one_background_job()
             if done is None:
                 break
             t = max(t, done)
+        if self._l0_live_count() >= self.options.l0_stop_writes_trigger:
+            self.stats.l0_stop_abandoned += 1
+            if self._observe:
+                self.obs.counter("db.stall.l0_stop_abandoned").inc()
         return t
 
     def _switch_memtable(self, at: int) -> int:

@@ -84,6 +84,7 @@ def registry_document(
         "counters": snapshot.get("counters", {}),
         "gauges": snapshot.get("gauges", {}),
         "histograms": snapshot.get("histograms", {}),
+        "windowed": snapshot.get("windowed", {}),
         "sources": snapshot.get("sources", {}),
         "breakdown_ns": layer_breakdown(registry),
         "spans": {

@@ -177,6 +177,106 @@ class Histogram:
         return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.0f})"
 
 
+class WindowedHistogram:
+    """A histogram per fixed-width virtual-time window.
+
+    Long-horizon stability analysis ("On Performance Stability in
+    LSM-based Storage Systems") needs latency percentiles *per window*,
+    not per run: a store can have a flat overall p99 and still spike to
+    100x in one bad minute. Values are recorded with the virtual time
+    they belong to (for request latency: the *arrival* time, so an op
+    delayed across a window boundary is charged to the window whose load
+    caused the delay) and land in the histogram of window
+    ``at // window_ns``.
+
+    Windows are materialised lazily in a dict, so sparse timelines cost
+    nothing, and every window shares the same bucket layout so
+    percentiles are comparable across the run.
+    """
+
+    __slots__ = ("name", "window_ns", "bounds", "windows", "total")
+
+    def __init__(
+        self,
+        name: str,
+        window_ns: int,
+        buckets: Optional[Sequence[int]] = None,
+    ) -> None:
+        if window_ns <= 0:
+            raise ValueError(f"window_ns must be positive, got {window_ns}")
+        self.name = name
+        self.window_ns = int(window_ns)
+        self.bounds = (
+            tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        )
+        #: window index -> Histogram (indices are ``at // window_ns``)
+        self.windows: Dict[int, Histogram] = {}
+        #: run-wide histogram over the same values, for overall p99.9
+        self.total = Histogram(name, self.bounds)
+
+    def record(self, at: int, value: int) -> None:
+        index = int(at) // self.window_ns
+        hist = self.windows.get(index)
+        if hist is None:
+            hist = self.windows[index] = Histogram(
+                f"{self.name}[{index}]", self.bounds
+            )
+        hist.record(value)
+        self.total.record(value)
+
+    @property
+    def count(self) -> int:
+        return self.total.count
+
+    def window_indices(self) -> List[int]:
+        return sorted(self.windows)
+
+    def series(self, q: float) -> List[Tuple[int, float]]:
+        """``(window_index, percentile(q))`` for every non-empty window."""
+        return [
+            (index, self.windows[index].percentile(q))
+            for index in sorted(self.windows)
+        ]
+
+    def max_over_windows(self, q: float) -> float:
+        """The worst windowed percentile — the spike the run hit."""
+        if not self.windows:
+            return 0.0
+        return max(h.percentile(q) for h in self.windows.values())
+
+    def median_over_windows(self, q: float) -> float:
+        """The typical windowed percentile — the run's steady state."""
+        if not self.windows:
+            return 0.0
+        values = sorted(h.percentile(q) for h in self.windows.values())
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return (values[mid - 1] + values[mid]) / 2.0
+
+    def reset(self) -> None:
+        self.windows.clear()
+        self.total.reset()
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "window_ns": self.window_ns,
+            "windows": len(self.windows),
+            "count": self.total.count,
+            "p50": self.total.p50,
+            "p99": self.total.p99,
+            "p999": self.total.percentile(99.9),
+            "max_windowed_p999": self.max_over_windows(99.9),
+            "median_windowed_p999": self.median_over_windows(99.9),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowedHistogram({self.name!r}, window={self.window_ns}ns, "
+            f"windows={len(self.windows)}, n={self.total.count})"
+        )
+
+
 class _NullCounter(Counter):
     __slots__ = ()
 
@@ -210,9 +310,20 @@ class _NullHistogram(Histogram):
         pass
 
 
+class _NullWindowedHistogram(WindowedHistogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null", window_ns=1, buckets=(1,))
+
+    def record(self, at: int, value: int) -> None:
+        pass
+
+
 NULL_COUNTER = _NullCounter()
 NULL_GAUGE = _NullGauge()
 NULL_HISTOGRAM = _NullHistogram()
+NULL_WINDOWED_HISTOGRAM = _NullWindowedHistogram()
 
 #: fn() -> Dict[str, object]; a component-owned snapshot provider
 SnapshotSource = Callable[[], Dict[str, object]]
@@ -243,6 +354,7 @@ class MetricRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._windowed: Dict[str, WindowedHistogram] = {}
         self._sources: Dict[str, SnapshotSource] = {}
         self.spans: List[Span] = []
         self.spans_dropped = 0
@@ -279,6 +391,22 @@ class MetricRegistry:
     def find_histogram(self, name: str) -> Optional[Histogram]:
         """The named histogram if some component created it, else None."""
         return self._histograms.get(name)
+
+    def windowed_histogram(
+        self,
+        name: str,
+        window_ns: int,
+        buckets: Optional[Sequence[int]] = None,
+    ) -> WindowedHistogram:
+        cell = self._windowed.get(name)
+        if cell is None:
+            cell = self._windowed[name] = WindowedHistogram(
+                name, window_ns, buckets
+            )
+        return cell
+
+    def find_windowed_histogram(self, name: str) -> Optional[WindowedHistogram]:
+        return self._windowed.get(name)
 
     def register_source(self, name: str, source: SnapshotSource) -> None:
         self._sources[name] = source
@@ -359,6 +487,9 @@ class MetricRegistry:
             "histograms": {
                 n: h.snapshot() for n, h in sorted(self._histograms.items())
             },
+            "windowed": {
+                n: w.snapshot() for n, w in sorted(self._windowed.items())
+            },
             "sources": {n: fn() for n, fn in sorted(self._sources.items())},
             "spans": {
                 "collected": len(self.spans),
@@ -384,6 +515,8 @@ class MetricRegistry:
         for cell in self._gauges.values():
             cell.reset()
         for cell in self._histograms.values():
+            cell.reset()
+        for cell in self._windowed.values():
             cell.reset()
         self.spans.clear()
         self.spans_dropped = 0
@@ -416,6 +549,14 @@ class NullRegistry(MetricRegistry):
         self, name: str, buckets: Optional[Sequence[int]] = None
     ) -> Histogram:
         return NULL_HISTOGRAM
+
+    def windowed_histogram(
+        self,
+        name: str,
+        window_ns: int,
+        buckets: Optional[Sequence[int]] = None,
+    ) -> WindowedHistogram:
+        return NULL_WINDOWED_HISTOGRAM
 
     def register_source(self, name: str, source: SnapshotSource) -> None:
         pass

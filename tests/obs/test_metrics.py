@@ -11,7 +11,9 @@ from repro.obs.metrics import (
     NULL_GAUGE,
     NULL_HISTOGRAM,
     NULL_REGISTRY,
+    NULL_WINDOWED_HISTOGRAM,
     NullRegistry,
+    WindowedHistogram,
     default_latency_buckets,
 )
 
@@ -140,3 +142,75 @@ def test_span_collection_bounded_by_max_spans():
     assert reg.spans_dropped == 3
     # every finished span still fed the duration histogram
     assert reg.find_histogram("span.op_ns").count == 5
+
+
+def test_windowed_histogram_routes_values_by_window():
+    wh = WindowedHistogram("lat", window_ns=1000)
+    wh.record(0, 100)
+    wh.record(999, 200)
+    wh.record(1000, 5000)
+    wh.record(2500, 300)
+    assert wh.window_indices() == [0, 1, 2]
+    assert wh.windows[0].count == 2
+    assert wh.windows[1].count == 1
+    assert wh.windows[2].count == 1
+    assert wh.count == 4 and wh.total.count == 4
+
+
+def test_windowed_histogram_rejects_bad_window():
+    with pytest.raises(ValueError):
+        WindowedHistogram("bad", window_ns=0)
+
+
+def test_windowed_histogram_spike_statistics():
+    wh = WindowedHistogram("lat", window_ns=1000)
+    # four flat windows at ~2us, one spike window at ~5ms
+    for index in range(5):
+        value = 5_000_000 if index == 2 else 2_000
+        for i in range(100):
+            wh.record(index * 1000 + i, value)
+    worst = wh.max_over_windows(99.9)
+    median = wh.median_over_windows(99.9)
+    assert worst > median > 0
+    assert worst >= 5_000_000 * 0.9  # the spike window dominates
+    series = wh.series(99.9)
+    assert [index for index, _ in series] == [0, 1, 2, 3, 4]
+    assert max(v for _, v in series) == worst
+    # empty histogram degenerates to zero, not an error
+    empty = WindowedHistogram("none", window_ns=10)
+    assert empty.max_over_windows(99.9) == 0.0
+    assert empty.median_over_windows(99.9) == 0.0
+
+
+def test_windowed_histogram_snapshot_and_reset():
+    wh = WindowedHistogram("lat", window_ns=1000)
+    wh.record(10, 500)
+    wh.record(1500, 700)
+    snap = wh.snapshot()
+    assert snap["window_ns"] == 1000
+    assert snap["windows"] == 2
+    assert snap["count"] == 2
+    assert snap["max_windowed_p999"] >= snap["median_windowed_p999"] > 0
+    wh.reset()
+    assert wh.count == 0 and wh.window_indices() == []
+
+
+def test_registry_windowed_histograms_cached_and_snapshotted():
+    reg = MetricRegistry()
+    wh = reg.windowed_histogram("soak.put_ns", 1000)
+    assert reg.windowed_histogram("soak.put_ns", 1000) is wh
+    assert reg.find_windowed_histogram("soak.put_ns") is wh
+    assert reg.find_windowed_histogram("absent") is None
+    wh.record(0, 100)
+    snap = reg.snapshot()
+    assert snap["windowed"]["soak.put_ns"]["count"] == 1
+    reg.reset()
+    assert reg.find_windowed_histogram("soak.put_ns").count == 0
+
+
+def test_null_registry_windowed_histogram_is_noop():
+    wh = NULL_REGISTRY.windowed_histogram("x", 1000)
+    assert wh is NULL_WINDOWED_HISTOGRAM
+    wh.record(0, 123)
+    assert wh.count == 0
+    assert wh.window_indices() == []
