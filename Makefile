@@ -4,12 +4,19 @@ PYTHON ?= python
 
 .PHONY: install test bench bench-full figures refresh-baselines perf-gate \
 	profile speed speed-gate refresh-speed-baseline \
-	soak soak-gate refresh-soak-baseline clean
+	soak soak-gate refresh-soak-baseline \
+	serve serve-gate refresh-serve-baseline clean
 
 # CI-sized soak: short enough for a gate job, long enough for the tree
 # to reach the bursty-compaction regime. refresh-soak-baseline MUST use
 # the same parameters or the gate compares different experiments.
 SOAK_GATE_ARGS = --rate 40000 --duration 0.3 --window-ms 25
+
+# CI-sized serve run: hot enough that the untuned cluster's hot shard
+# sheds and queues, short enough for a gate job. These match the serve
+# CLI defaults; refresh-serve-baseline MUST use the same parameters or
+# the gate compares different experiments.
+SERVE_GATE_ARGS = --rate 90000 --duration 0.3 --window-ms 25
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -93,6 +100,27 @@ soak-gate:
 # Re-record the stability baseline after a deliberate behaviour change.
 refresh-soak-baseline:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.cli soak $(SOAK_GATE_ARGS) \
+		--json benchmarks/baselines
+
+# Multi-tenant serving run: sharded cluster, untuned vs fair-scheduled,
+# per-tenant tails + fairness + admission counts (repro.serve/1).
+serve:
+	mkdir -p results
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli serve --json results
+
+# CI's serving gate: the CI-sized serve pair vs the recorded baseline.
+# Both rows (serve, serve-fair) are gated, so a change that destroys
+# the fair variant's isolation fails even if the untuned row holds.
+serve-gate:
+	rm -rf results/serve-gate && mkdir -p results/serve-gate
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli serve $(SERVE_GATE_ARGS) \
+		--json results/serve-gate
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli compare \
+		benchmarks/baselines/serve.json results/serve-gate/serve.json
+
+# Re-record the serving baseline after a deliberate behaviour change.
+refresh-serve-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.cli serve $(SERVE_GATE_ARGS) \
 		--json benchmarks/baselines
 
 artifacts: test bench

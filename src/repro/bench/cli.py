@@ -20,6 +20,9 @@ Usage::
                                        [--scale 2000] [--stores noblsm]
     python -m repro.bench soak         [--rate 40000] [--duration 0.75]
                                        [--window-ms 25] [--stores noblsm]
+    python -m repro.bench serve        [--shards 4] [--tenants 6]
+                                       [--rate 90000] [--duration 0.3]
+                                       [--mode open] [--max-queue 32]
     python -m repro.bench compare BASELINE.json CURRENT.json
                                        [--thresholds us_per_op=0.1,...]
 
@@ -35,8 +38,14 @@ the *simulator itself* — fillrandom run ``--repeats`` times with
 (``repro.speed/1``). ``soak`` runs the long-horizon stability pair —
 an open-loop Poisson workload measured in windowed p50/p99/p99.9, once
 with stock options and once with the rate limiter + dynamic slowdown —
-and prints ascii timelines (``repro.soak/1``). ``compare`` diffs two
-``repro.bench/1`` / ``repro.speed/1`` / ``repro.soak/1`` JSONs and
+and prints ascii timelines (``repro.soak/1``). ``serve`` runs the
+sharded multi-tenant serving pair — N store shards behind the
+deterministic router with tenant-affine placement, hot-tenant zipf
+skew, a diurnal open-loop arrival curve, and per-shard admission
+control — once untuned and once fair-scheduled, reporting per-tenant
+and per-shard p50/p99/p99.9, the fairness ratio, and shed/queued
+counts (``repro.serve/1``). ``compare`` diffs two ``repro.bench/1`` /
+``repro.speed/1`` / ``repro.soak/1`` / ``repro.serve/1`` JSONs and
 exits non-zero on a regression — the CI perf gate. ``all`` regenerates
 the figures only.
 """
@@ -379,8 +388,8 @@ def _run_soak(args) -> int:
         store=store,
         scale=scale,
         seed=seed,
-        arrival_rate=args.rate,
-        duration_s=args.duration,
+        arrival_rate=args.rate if args.rate is not None else 40_000.0,
+        duration_s=args.duration if args.duration is not None else 0.75,
         window_ms=args.window_ms,
         num_channels=channels,
         background_threads=threads,
@@ -405,6 +414,65 @@ def _run_soak(args) -> int:
             },
         )
         timeline = os.path.join(args.json, "soak-timeline.txt")
+        with open(timeline, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"\nwrote {path} and {timeline}")
+    return 0
+
+
+def _run_serve(args) -> int:
+    """The ``serve`` target: untuned + fair cluster pair, JSON + timeline."""
+    from repro.serve import (
+        ServeConfig,
+        render_serve,
+        run_serve_pair,
+        write_serve_json,
+    )
+
+    store = args.stores.split(",")[0] if args.stores else "noblsm"
+    scale = args.scale or 2000.0
+    seed = args.seed if args.seed else 1234
+    channels = int(args.channels.split(",")[0]) if args.channels else 1
+    threads = int(args.threads.split(",")[0]) if args.threads else 1
+    config = ServeConfig(
+        store=store,
+        num_shards=args.shards,
+        num_tenants=args.tenants,
+        scale=scale,
+        seed=seed,
+        arrival_rate=args.rate if args.rate is not None else 90_000.0,
+        duration_s=args.duration if args.duration is not None else 0.3,
+        window_ms=args.window_ms,
+        diurnal_amplitude=args.amplitude,
+        spread=args.spread,
+        max_queue=args.max_queue,
+        mode=args.mode,
+        num_channels=channels,
+        background_threads=threads,
+    )
+    results = run_serve_pair(config)
+    rendered = render_serve(results)
+    print(rendered)
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+        path = os.path.join(args.json, "serve.json")
+        write_serve_json(
+            path,
+            results,
+            meta={
+                "target": "serve",
+                "store": store,
+                "scale": scale,
+                "seed": seed,
+                "shards": config.num_shards,
+                "tenants": config.num_tenants,
+                "arrival_rate": config.arrival_rate,
+                "duration_s": config.duration_s,
+                "window_ms": args.window_ms,
+                "mode": config.mode,
+            },
+        )
+        timeline = os.path.join(args.json, "serve-timeline.txt")
         with open(timeline, "w") as fh:
             fh.write(rendered + "\n")
         print(f"\nwrote {path} and {timeline}")
@@ -446,7 +514,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "target",
         choices=ALL_TARGETS
         + ["all", "crash-matrix", "parallelism", "fillrandom", "speed",
-           "soak", "compare"],
+           "soak", "serve", "compare"],
     )
     parser.add_argument(
         "paths",
@@ -548,21 +616,62 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--rate",
         type=float,
-        default=40_000.0,
-        help="soak: open-loop arrival rate, ops per virtual second "
-             "(default 40000)",
+        default=None,
+        help="soak/serve: open-loop arrival rate, ops per virtual second "
+             "(default 40000 soak, 90000 serve)",
     )
     parser.add_argument(
         "--duration",
         type=float,
-        default=0.75,
-        help="soak: horizon in virtual seconds (default 0.75)",
+        default=None,
+        help="soak/serve: horizon in virtual seconds "
+             "(default 0.75 soak, 0.3 serve)",
     )
     parser.add_argument(
         "--window-ms",
         type=float,
         default=25.0,
         help="soak: percentile window width in virtual ms (default 25)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="serve: independent store shards (default 4)",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=6,
+        help="serve: tenants sharing the cluster (default 6)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=["open", "closed"],
+        default="open",
+        help="serve: open-loop arrivals or closed-loop clients "
+             "(default open)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="serve: per-shard admission queue bound, 0 disables "
+             "admission control (default 32)",
+    )
+    parser.add_argument(
+        "--spread",
+        type=int,
+        default=1,
+        help="serve: shards per tenant home group; 1 = tenant-affine "
+             "placement (default 1)",
+    )
+    parser.add_argument(
+        "--amplitude",
+        type=float,
+        default=0.4,
+        help="serve: diurnal rate modulation depth in [0, 1) "
+             "(default 0.4)",
     )
     parser.add_argument(
         "--thresholds",
@@ -582,6 +691,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_speed(args)
     if args.target == "soak":
         return _run_soak(args)
+    if args.target == "serve":
+        return _run_serve(args)
     if args.target == "compare":
         return _run_compare(args)
     stores = args.stores.split(",") if args.stores else None

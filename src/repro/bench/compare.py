@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 SCHEMA = "repro.bench/1"
 SPEED_SCHEMA = "repro.speed/1"
 SOAK_SCHEMA = "repro.soak/1"
+SERVE_SCHEMA = "repro.serve/1"
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,22 @@ SOAK_METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec("windowed_p999_us", 0.25, 50.0),
     MetricSpec("p999_ratio", 0.25, 0.5),
     MetricSpec("max_stall_ns", 0.25, 1e6),
+    MetricSpec("blocked_ns", 0.25, 5e6),
+)
+
+#: the ``repro.serve/1`` multi-tenant gate (all lower-is-better,
+#: deterministic virtual-time numbers). ``worst_tenant_p999_us`` is the
+#: serving headline — the tail the worst-off tenant actually gets;
+#: ``fairness_ratio`` (worst/best tenant p99) is the multi-tenant SLA
+#: measure; ``shed`` counts refused requests (a fair cluster should not
+#: start shedding more than its recorded baseline); ``blocked_ns`` sums
+#: writer-not-progressing time over every shard. Floors absorb
+#: near-zero wobble on the tuned variant.
+SERVE_METRICS: Tuple[MetricSpec, ...] = (
+    MetricSpec("worst_tenant_p999_us", 0.25, 50.0),
+    MetricSpec("worst_tenant_p99_us", 0.25, 25.0),
+    MetricSpec("fairness_ratio", 0.25, 0.5),
+    MetricSpec("shed", 0.25, 20.0),
     MetricSpec("blocked_ns", 0.25, 5e6),
 )
 
@@ -169,10 +186,10 @@ def parse_thresholds(spec: Optional[str]) -> Optional[Dict[str, float]]:
 
 def _check_schema(doc: Dict[str, object], which: str) -> str:
     schema = doc.get("schema") if isinstance(doc, dict) else None
-    if schema not in (SCHEMA, SPEED_SCHEMA, SOAK_SCHEMA):
+    if schema not in (SCHEMA, SPEED_SCHEMA, SOAK_SCHEMA, SERVE_SCHEMA):
         raise ValueError(
-            f"{which} document is not {SCHEMA!r}, {SPEED_SCHEMA!r} or "
-            f"{SOAK_SCHEMA!r} "
+            f"{which} document is not {SCHEMA!r}, {SPEED_SCHEMA!r}, "
+            f"{SOAK_SCHEMA!r} or {SERVE_SCHEMA!r} "
             f"(schema={schema if isinstance(doc, dict) else doc!r})"
         )
     if not isinstance(doc.get("results"), list):
@@ -202,6 +219,8 @@ def compare_documents(
         metric_set = SPEED_METRICS
     elif base_schema == SOAK_SCHEMA:
         metric_set = SOAK_METRICS
+    elif base_schema == SERVE_SCHEMA:
+        metric_set = SERVE_METRICS
     else:
         metric_set = DEFAULT_METRICS
     metrics = [

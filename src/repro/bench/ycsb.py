@@ -68,6 +68,18 @@ class YCSBWorkload:
             self._chooser = ScrambledZipfian(max(record_count, 1), seed=seed + 1)
         self._scan_rng = random.Random(seed + 2)
 
+    @property
+    def inserted_count(self) -> int:
+        """Records present once the generated ops have run.
+
+        Load phases count the records they insert; run phases start from
+        ``record_count`` and grow with every insert op generated (D and
+        E). This is the workload's public record-accounting contract —
+        callers chaining phases (the suite runner, the serving layer)
+        read it instead of reaching into generator internals.
+        """
+        return self._inserted
+
     # mix fractions: (read, update, insert, scan, rmw)
     _MIXES: Dict[str, Tuple[float, float, float, float, float]] = {
         "a": (0.50, 0.50, 0.00, 0.00, 0.00),
@@ -213,7 +225,7 @@ def run_ycsb_suite(
         )
         if phase.startswith("load"):
             # records now present for the following run phases
-            records = workload._inserted
+            records = workload.inserted_count
         # idle gap before the next phase: background work catches up
         gap = int(phase_gap_s * 1e9 / config.scale)
         t += gap

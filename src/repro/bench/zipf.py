@@ -56,12 +56,46 @@ class Zipfian:
         self._alpha = 1.0 / (1.0 - theta)
         self._zetan = self._zeta(count)
         self._zeta2 = self._zeta(2)
-        self._eta = (1 - (2.0 / count) ** (1 - theta)) / (
-            1 - self._zeta2 / self._zetan
-        )
+        self._eta = self._compute_eta()
 
     def _zeta(self, n: int) -> float:
         return sum(1.0 / (i ** self.theta) for i in range(1, n + 1))
+
+    def _compute_eta(self) -> float:
+        # count == 2 makes the denominator zero (zeta(n) == zeta(2));
+        # eta is unreachable there — next() always resolves in the
+        # rank-0/rank-1 branches because u * zetan < zeta(2).
+        denominator = 1 - self._zeta2 / self._zetan
+        if denominator == 0.0:
+            return 0.0
+        return (1 - (2.0 / self.count) ** (1 - self.theta)) / denominator
+
+    def set_count(self, count: int) -> None:
+        """Re-target the distribution at ``count`` items.
+
+        Growing the bound means the normalization constants must move
+        with it: ``_zetan`` is the zeta sum over *all* ranks and
+        ``_eta`` is derived from it, so leaving them at the old count
+        silently keeps the old count's skew (the head ranks stay as
+        popular as they were in the smaller keyspace — YCSB's own
+        generator recomputes both). Growth extends ``_zetan``
+        incrementally with just the new ranks' terms, which is exact:
+        zeta(n) is a prefix sum. Shrinking (not used by YCSB) falls
+        back to a full recompute.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if count == self.count:
+            return
+        if count > self.count:
+            self._zetan += sum(
+                1.0 / (i ** self.theta)
+                for i in range(self.count + 1, count + 1)
+            )
+        else:
+            self._zetan = self._zeta(count)
+        self.count = count
+        self._eta = self._compute_eta()
 
     def next(self) -> int:
         u = self._rng.random()
@@ -96,9 +130,10 @@ class Latest:
     def set_count(self, count: int) -> None:
         if count > self.count:
             self.count = count
-            # YCSB re-targets the zipfian at the new max; ranks near zero
-            # map to the newest items, so only the bound needs updating.
-            self._zipf.count = count
+            # YCSB re-targets the zipfian at the new max; ranks near
+            # zero map to the newest items, and the zipfian renormalizes
+            # its zeta constants for the wider rank space.
+            self._zipf.set_count(count)
 
     def next(self) -> int:
         rank = self._zipf.next() % self.count

@@ -68,6 +68,12 @@ from repro.lsm.wal import BatchEntry, LogReader, LogWriter
 
 MILLISECOND = 1_000_000
 
+#: :meth:`DB.write_pressure` states, in increasing severity — the
+#: admission-control view of LevelDB's write-path triggers.
+PRESSURE_OK = "ok"
+PRESSURE_SLOWDOWN = "slowdown"
+PRESSURE_STOP = "stop"
+
 #: (ready_time, work_fn) — a pulled background job
 BackgroundJob = Tuple[int, Callable[[int], int]]
 
@@ -414,6 +420,30 @@ class DB:
 
     def _l0_live_count(self) -> int:
         return sum(1 for f in self.versions.current.files[0] if not f.shadow)
+
+    def write_pressure(self) -> str:
+        """Admission-control view of the write path, without writing.
+
+        Returns one of :data:`PRESSURE_OK` / :data:`PRESSURE_SLOWDOWN` /
+        :data:`PRESSURE_STOP` — the state ``_make_room`` *would* put the
+        next writer into, derived from the same triggers (live L0 count
+        vs the slowdown/stop thresholds, plus a sealed memtable still
+        awaiting its dump). A serving layer consults this before
+        dispatching a request, so it can queue or shed at the front door
+        instead of parking every client on a stalled writer; the
+        distinction matters because an L0 *stop* blocks the writer for a
+        compaction's worth of virtual time while a *slowdown* only
+        injects a bounded delay.
+        """
+        l0_count = self._l0_live_count()
+        if l0_count >= self.options.l0_stop_writes_trigger:
+            return PRESSURE_STOP
+        if (
+            l0_count >= self.options.l0_slowdown_writes_trigger
+            or self._pending_imm is not None
+        ):
+            return PRESSURE_SLOWDOWN
+        return PRESSURE_OK
 
     def _pick_background_work(
         self, horizon: Optional[int] = None

@@ -1,0 +1,102 @@
+"""Deterministic key routing for the sharded serving layer.
+
+The cluster holds N independent stores; the router decides, for every
+``(tenant, key)`` request, which shard serves it — a pure function of
+the request, the shard count, and the router seed, so the same cluster
+layout always produces the same placement (replaying a workload is
+byte-deterministic, and rebuilding a router N->N is a guaranteed
+no-op).
+
+Two concerns are kept separate:
+
+- **Namespacing.** Every tenant lives in its own key namespace: the
+  stored key is ``<tenant>/<user key>``. Tenant ids may not contain the
+  separator, so namespaces are prefix-free — two tenants can never
+  collide on a stored key, no matter which shard either lands on.
+- **Placement.** A tenant hashes (FNV-1a over the seed and the tenant
+  id) to a *home group* of ``spread`` consecutive shards; the key hash
+  picks the shard within the group. ``spread=1`` is tenant affinity —
+  all of a tenant's keys on one shard, the layout that turns a hot
+  tenant into a hot shard and gives admission control something to
+  protect. ``spread=num_shards`` is pure key hashing — every tenant
+  striped over the whole cluster.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.zipf import fnv64
+
+#: separates the tenant namespace from the user key in stored keys
+NAMESPACE_SEPARATOR = b"/"
+
+
+def _hash_bytes(seed: int, data: bytes) -> int:
+    """FNV-1a over ``data``, chained from a seeded state."""
+    result = fnv64(seed)
+    prime = 0x100000001B3
+    for octet in data:
+        result ^= octet
+        result = (result * prime) & 0xFFFFFFFFFFFFFFFF
+    return result
+
+
+class Router:
+    """Maps ``(tenant, key)`` to exactly one of ``num_shards`` shards."""
+
+    __slots__ = ("num_shards", "seed", "spread")
+
+    def __init__(self, num_shards: int, seed: int = 0, spread: int = 1) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if not 1 <= spread <= num_shards:
+            raise ValueError(
+                f"spread must be in [1, {num_shards}], got {spread}"
+            )
+        self.num_shards = num_shards
+        self.seed = seed
+        self.spread = spread
+
+    def storage_key(self, tenant: str, key: bytes) -> bytes:
+        """The namespaced key stored in the shard: ``<tenant>/<key>``."""
+        encoded = self._tenant_bytes(tenant)
+        return encoded + NAMESPACE_SEPARATOR + key
+
+    def shard_of(self, tenant: str, key: bytes) -> int:
+        """The single shard serving this request.
+
+        The tenant hash anchors a home group of ``spread`` consecutive
+        shards (wrapping); the key hash picks within the group. Both
+        hashes chain the router seed, so two routers agree iff their
+        ``(num_shards, seed, spread)`` agree.
+        """
+        encoded = self._tenant_bytes(tenant)
+        home = _hash_bytes(self.seed, encoded) % self.num_shards
+        if self.spread == 1:
+            return home
+        offset = _hash_bytes(self.seed + 1, encoded + NAMESPACE_SEPARATOR + key)
+        return (home + offset % self.spread) % self.num_shards
+
+    def shards_of_tenant(self, tenant: str) -> List[int]:
+        """Every shard this tenant's keys can land on (its home group)."""
+        encoded = self._tenant_bytes(tenant)
+        home = _hash_bytes(self.seed, encoded) % self.num_shards
+        return [(home + i) % self.num_shards for i in range(self.spread)]
+
+    def _tenant_bytes(self, tenant: str) -> bytes:
+        encoded = tenant.encode()
+        if not encoded:
+            raise ValueError("tenant id must be non-empty")
+        if NAMESPACE_SEPARATOR in encoded:
+            raise ValueError(
+                f"tenant id may not contain "
+                f"{NAMESPACE_SEPARATOR.decode()!r}: {tenant!r}"
+            )
+        return encoded
+
+    def __repr__(self) -> str:
+        return (
+            f"Router(num_shards={self.num_shards}, seed={self.seed}, "
+            f"spread={self.spread})"
+        )

@@ -117,6 +117,42 @@ def test_threaded_driver_min_clock_first():
     assert all(clock > 0 for clock in driver.clocks)
 
 
+def test_threaded_driver_breaks_clock_ties_deterministically():
+    # With every clock equal the driver must always pick the
+    # lowest-indexed thread — ``min`` on equal keys — so a run is
+    # reproducible regardless of how many threads happen to be tied.
+    driver = ThreadedDriver(db=None, threads=3)
+    picked = []
+
+    def op(store, at):
+        # All clocks start equal (0) and each op leaves its thread's
+        # clock equal to the others again, keeping every step a tie.
+        picked.append(driver.clocks.index(min(driver.clocks)))
+        return at + 10
+
+    driver.run([op] * 6)
+    # ties resolve lowest-index first, round after round
+    assert picked == [0, 1, 2, 0, 1, 2]
+    assert driver.clocks == [20, 20, 20]
+
+
+def test_threaded_driver_returns_max_clock_under_mixed_latency():
+    # Two threads, three ops with latencies 5, 3, 4:
+    #   op0 -> thread 0 (clock 5), op1 -> thread 1 (clock 3),
+    #   op2 -> thread 1 again (lowest clock), clock 3 + 4 = 7.
+    # run() must report when the *slowest* thread finished: max = 7,
+    # not the last completion it happened to compute.
+    driver = ThreadedDriver(db=None, threads=2)
+    latencies = iter([5, 3, 4])
+
+    def op(store, at):
+        return at + next(latencies)
+
+    end = driver.run([op] * 3)
+    assert driver.clocks == [5, 7]
+    assert end == 7
+
+
 def test_threaded_driver_rejects_zero_threads():
     config = ScaledConfig(scale=10_000)
     _, db = config.build_store("leveldb")

@@ -63,7 +63,7 @@ def test_workload_e_scans():
 def test_workload_d_inserts_extend_keyspace():
     workload = make("d", records=100, ops=400, seed=5)
     ops = workload.operations()
-    assert workload._inserted > 100  # some inserts happened
+    assert workload.inserted_count > 100  # some inserts happened
     config = ScaledConfig(scale=10_000)
     stack, db = config.build_store("leveldb")
     t = 0
@@ -71,6 +71,20 @@ def test_workload_d_inserts_extend_keyspace():
         t = op(db, t)
     for op in ops:
         t = op(db, t)  # must not crash reading fresh keys
+
+
+def test_inserted_count_is_the_public_record_contract():
+    """Load phases report what they inserted; run phases grow with D/E
+    inserts — the suite runner chains phases off this property."""
+    load = make("load-a", records=150)
+    load.operations()
+    assert load.inserted_count == 150
+    run = make("d", records=100, ops=400, seed=5)
+    run.operations()
+    assert run.inserted_count > 100
+    read_only = make("c", records=120, ops=50)
+    read_only.operations()
+    assert read_only.inserted_count == 120
 
 
 def test_suite_runs_all_phases():

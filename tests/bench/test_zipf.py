@@ -38,6 +38,20 @@ def test_zipfian_determinism():
     assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
 
 
+def test_zipfian_handles_two_items():
+    # count == 2 makes eta's denominator zero (zeta(n) == zeta(2));
+    # the generator must still work — both ranks come from the early
+    # branches of next(), which never touch eta.
+    gen = Zipfian(2, seed=3)
+    samples = [gen.next() for _ in range(2000)]
+    counts = Counter(samples)
+    assert set(counts) == {0, 1}
+    assert counts[0] > counts[1]  # still skewed toward rank 0
+    # growing away from (and back to) 2 items stays finite
+    gen.set_count(10)
+    assert all(0 <= gen.next() < 10 for _ in range(100))
+
+
 def test_scrambled_zipfian_spreads_hotspots():
     gen = ScrambledZipfian(1000, seed=3)
     samples = [gen.next() for _ in range(20000)]
@@ -63,6 +77,63 @@ def test_latest_tracks_inserts():
     assert max(samples) == 199  # newest item is now 199
     counts = Counter(samples)
     assert counts[199] == max(counts.values())
+
+
+def test_zipfian_set_count_renormalizes_zeta_constants():
+    """Growing the bound must extend the zeta sum, not just the range.
+
+    The incremental extension is exact: zeta(n) is a prefix sum, so a
+    generator grown 100 -> 5000 carries the same constants as one built
+    at 5000 directly.
+    """
+    grown = Zipfian(100, seed=6)
+    grown.set_count(5000)
+    fresh = Zipfian(5000, seed=6)
+    assert grown._zetan == pytest.approx(fresh._zetan, rel=1e-12)
+    assert grown._eta == pytest.approx(fresh._eta, rel=1e-12)
+
+
+def test_latest_growth_keeps_ycsb_skew():
+    """Regression for the stale-zeta bug: after workload-D inserts grow
+    the keyspace, rank frequencies must match a generator built at the
+    new count. Pre-fix, ``set_count`` updated only the bound, so the
+    hottest rank kept the *old* count's share — 1/zeta(100) instead of
+    1/zeta(5000), roughly twice too hot."""
+    grown = Latest(100, seed=7)
+    grown.set_count(5000)
+    fresh = Latest(5000, seed=8)
+    n = 40_000
+    newest = 4999
+    freq_grown = sum(grown.next() == newest for _ in range(n)) / n
+    freq_fresh = sum(fresh.next() == newest for _ in range(n)) / n
+    expected = 1.0 / grown._zipf._zetan  # P(rank 0) = 1/zeta(count)
+    stale = 1.0 / Zipfian(100)._zetan  # what the pre-fix generator gave
+    assert stale > 1.5 * expected  # the bug is statistically visible
+    # both the grown and the fresh generator sit at the true share,
+    # far below the stale one (sampling noise here is ~0.002)
+    assert abs(freq_grown - expected) < 0.02
+    assert abs(freq_fresh - expected) < 0.02
+    assert abs(freq_grown - freq_fresh) < 0.02
+
+
+def test_latest_growth_rank_frequencies_before_and_after():
+    """The *shape* survives growth: the newest item stays the hottest
+    and the head-vs-tail ordering matches a fresh generator's."""
+    gen = Latest(200, seed=9)
+    before = Counter(gen.next() for _ in range(20_000))
+    assert before[199] == max(before.values())
+    gen.set_count(400)
+    after = Counter(gen.next() for _ in range(20_000))
+    assert after[399] == max(after.values())
+    # newest item's share dropped when the keyspace doubled (a wider
+    # rank space spreads the probability mass)
+    assert after[399] < before[199]
+
+
+def test_zipfian_set_count_rejects_nonpositive():
+    gen = Zipfian(10, seed=1)
+    with pytest.raises(ValueError):
+        gen.set_count(0)
 
 
 def test_fnv64_is_deterministic_and_spread():

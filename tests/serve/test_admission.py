@@ -1,0 +1,115 @@
+"""Unit tests for the per-shard admission controller."""
+
+import pytest
+
+from repro.lsm.db import PRESSURE_OK, PRESSURE_SLOWDOWN, PRESSURE_STOP
+from repro.serve.admission import ADMIT, QUEUE, SHED, AdmissionController
+
+
+def test_bound_shrinks_with_pressure():
+    ctrl = AdmissionController(32, slowdown_fraction=0.5, stop_fraction=0.25)
+    assert ctrl.bound(PRESSURE_OK) == 32
+    assert ctrl.bound(PRESSURE_SLOWDOWN) == 16
+    assert ctrl.bound(PRESSURE_STOP) == 8
+
+
+def test_bound_never_drops_below_one():
+    ctrl = AdmissionController(2, slowdown_fraction=0.5, stop_fraction=0.25)
+    assert ctrl.bound(PRESSURE_STOP) == 1
+    assert ctrl.bound(PRESSURE_SLOWDOWN) == 1
+
+
+def test_idle_shard_admits():
+    ctrl = AdmissionController(4)
+    assert ctrl.decide(0, PRESSURE_OK) == ADMIT
+    assert ctrl.stats.admitted == 1
+    assert ctrl.stats.queued == 0
+    assert ctrl.stats.shed == 0
+
+
+def test_backlog_queues_then_sheds_at_the_bound():
+    ctrl = AdmissionController(2)
+    # two requests in flight, both completing far in the future
+    assert ctrl.decide(0, PRESSURE_OK) == ADMIT
+    ctrl.note_completion(0, 1_000_000)
+    assert ctrl.decide(10, PRESSURE_OK) == QUEUE
+    ctrl.note_completion(10, 2_000_000)
+    # depth 2 == bound(ok): the third arrival is refused
+    assert ctrl.decide(20, PRESSURE_OK) == SHED
+    assert ctrl.stats.shed == 1
+    assert ctrl.stats.shed_by_pressure == {PRESSURE_OK: 1}
+
+
+def test_pressure_queues_even_an_idle_shard():
+    ctrl = AdmissionController(8)
+    assert ctrl.decide(0, PRESSURE_SLOWDOWN) == QUEUE
+    assert ctrl.stats.queued == 1
+
+
+def test_stop_pressure_sheds_sooner_than_ok():
+    ctrl = AdmissionController(8, stop_fraction=0.25)  # stop bound = 2
+    ctrl.note_completion(0, 1_000_000)
+    ctrl.note_completion(0, 2_000_000)
+    # depth 2 is fine under ok (bound 8) but over the stop bound (2)
+    assert ctrl.decide(10, PRESSURE_OK) == QUEUE
+    assert ctrl.decide(10, PRESSURE_STOP) == SHED
+    assert ctrl.stats.shed_by_pressure == {PRESSURE_STOP: 1}
+
+
+def test_depth_expires_completed_requests():
+    ctrl = AdmissionController(4)
+    ctrl.note_completion(0, 100)
+    ctrl.note_completion(0, 200)
+    assert ctrl.depth(50) == 2
+    assert ctrl.depth(150) == 1
+    assert ctrl.depth(250) == 0
+    # once drained and pressure is off, arrivals admit again
+    assert ctrl.decide(300, PRESSURE_OK) == ADMIT
+
+
+def test_queued_ns_charges_wait_behind_the_backlog():
+    ctrl = AdmissionController(4)
+    ctrl.note_completion(0, 1_000)
+    assert ctrl.decide(400, PRESSURE_OK) == QUEUE
+    assert ctrl.stats.queued_ns == 600
+
+
+def test_note_completion_clamps_out_of_order_reads():
+    # A read that overtakes queued writes must not make the pending
+    # deque non-monotone (depth would under-count the backlog).
+    ctrl = AdmissionController(4)
+    ctrl.note_completion(0, 1_000)
+    ctrl.note_completion(0, 500)  # finished before the tail: clamped
+    assert ctrl.depth(700) == 2
+    assert ctrl.depth(1_000) == 0
+
+
+def test_controller_is_pure_bookkeeping():
+    # decide() never advances any clock: the decision for a given
+    # (arrival, pressure) is independent of wall or virtual time flow.
+    ctrl = AdmissionController(4)
+    before = ctrl.depth(0)
+    ctrl.decide(0, PRESSURE_OK)
+    assert ctrl.depth(0) == before
+
+
+def test_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        AdmissionController(0)
+    with pytest.raises(ValueError):
+        AdmissionController(4, slowdown_fraction=0.2, stop_fraction=0.5)
+    with pytest.raises(ValueError):
+        AdmissionController(4, stop_fraction=0.0)
+
+
+def test_stats_to_dict_is_sorted_and_complete():
+    ctrl = AdmissionController(1)
+    ctrl.note_completion(0, 1_000_000)
+    ctrl.decide(1, PRESSURE_STOP)
+    ctrl.decide(2, PRESSURE_SLOWDOWN)
+    data = ctrl.stats.to_dict()
+    assert data["shed"] == 2
+    assert list(data["shed_by_pressure"]) == sorted(data["shed_by_pressure"])
+    assert set(data) == {
+        "admitted", "queued", "shed", "queued_ns", "shed_by_pressure",
+    }

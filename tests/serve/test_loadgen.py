@@ -1,0 +1,180 @@
+"""Unit tests for the multi-tenant virtual-time load generator."""
+
+import pytest
+
+from repro.serve.loadgen import (
+    OP_GET,
+    OP_PUT,
+    ClosedLoopDriver,
+    LoadConfig,
+    diurnal_rate,
+    open_loop,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        num_tenants=4,
+        arrival_rate=50_000.0,
+        duration_s=0.02,
+        diurnal_amplitude=0.4,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return LoadConfig(**defaults)
+
+
+def test_open_loop_is_deterministic():
+    a = list(open_loop(small_config()))
+    b = list(open_loop(small_config()))
+    assert a == b
+    assert list(open_loop(small_config(seed=8))) != a
+
+
+def test_open_loop_arrivals_ordered_and_inside_horizon():
+    config = small_config()
+    arrivals = [r.arrival for r in open_loop(config)]
+    assert arrivals, "stream is empty"
+    assert all(a < config.horizon_ns for a in arrivals)
+    assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+
+def test_open_loop_request_shape():
+    config = small_config()
+    tenants = set(config.tenant_ids())
+    puts = gets = 0
+    for request in open_loop(config):
+        assert request.tenant in tenants
+        assert len(request.key) == config.key_size
+        if request.op == OP_PUT:
+            assert len(request.value) == config.value_size
+            puts += 1
+        else:
+            assert request.op == OP_GET
+            assert request.value is None
+            gets += 1
+    total = puts + gets
+    assert total > 100
+    # write_fraction=0.9: puts dominate but reads exist
+    assert puts / total == pytest.approx(0.9, abs=0.05)
+    assert gets > 0
+
+
+def test_tenant_zero_is_the_hot_tenant():
+    config = small_config(tenant_theta=0.99)
+    counts = {}
+    for request in open_loop(config):
+        counts[request.tenant] = counts.get(request.tenant, 0) + 1
+    hot = max(counts, key=counts.get)
+    assert hot == "tenant0"
+    # zipf 0.99 over 4 tenants: the hot tenant takes a clear plurality
+    assert counts[hot] > sum(counts.values()) / len(counts)
+
+
+def test_diurnal_rate_trough_and_peak():
+    config = small_config(diurnal_amplitude=0.4)
+    base = config.arrival_rate
+    horizon = config.horizon_ns
+    assert diurnal_rate(config, 0) == pytest.approx(base)
+    # sine phased so a run bottoms out at 1/4 and peaks at 3/4
+    assert diurnal_rate(config, horizon // 4) == pytest.approx(
+        base * 0.6, rel=1e-3
+    )
+    assert diurnal_rate(config, 3 * horizon // 4) == pytest.approx(
+        base * 1.4, rel=1e-3
+    )
+    flat = small_config(diurnal_amplitude=0.0)
+    assert diurnal_rate(flat, horizon // 4) == base
+
+
+def test_mean_rate_matches_request_count():
+    config = small_config(diurnal_amplitude=0.0)
+    count = sum(1 for _ in open_loop(config))
+    expected = config.arrival_rate * config.duration_s
+    assert count == pytest.approx(expected, rel=0.15)
+
+
+def test_tenant_ids_are_zero_padded_and_sortable():
+    config = LoadConfig(num_tenants=12)
+    ids = config.tenant_ids()
+    assert ids[0] == "tenant00"
+    assert ids[-1] == "tenant11"
+    assert ids == sorted(ids)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LoadConfig(num_tenants=0)
+    with pytest.raises(ValueError):
+        LoadConfig(diurnal_amplitude=1.0)
+    with pytest.raises(ValueError):
+        LoadConfig(write_fraction=1.5)
+
+
+def test_closed_loop_client_fleet_shape():
+    config = small_config(clients_per_tenant=3)
+    driver = ClosedLoopDriver(config)
+    assert len(driver.clients) == 3 * config.num_tenants
+    tenants = [c[2] for c in driver.clients]
+    for tenant in config.tenant_ids():
+        assert tenants.count(tenant) == 3
+
+
+def test_closed_loop_waits_for_completions():
+    # Each client's next request starts strictly after its previous
+    # completion (+ think); a fixed service time serializes per client.
+    config = small_config(
+        duration_s=0.001, clients_per_tenant=1, num_tenants=2, think_ns=100
+    )
+    per_client_last = {}
+
+    def execute(request):
+        previous = per_client_last.get(request.tenant)
+        if previous is not None:
+            assert request.arrival > previous
+        done = request.arrival + 5_000
+        per_client_last[request.tenant] = done
+        return done
+
+    driver = ClosedLoopDriver(config)
+    last = driver.run(execute)
+    assert last > 0
+    assert last == max(per_client_last.values())
+    # both clients made progress
+    assert set(per_client_last) == set(config.tenant_ids())
+
+
+def test_closed_loop_shed_costs_only_think_time():
+    config = small_config(
+        duration_s=0.00002, clients_per_tenant=1, num_tenants=1, think_ns=0
+    )
+
+    arrivals = []
+
+    def execute(request):
+        arrivals.append(request.arrival)
+        return None  # every request shed
+
+    ClosedLoopDriver(config).run(execute)
+    # a shed request costs the client no latency at all: it retries on
+    # the next tick, so the lone client issues one request per ns
+    assert arrivals == list(range(0, config.horizon_ns, 1))
+
+
+def test_closed_loop_is_deterministic():
+    config = small_config(duration_s=0.002)
+    seen = []
+
+    def execute(request):
+        seen.append((request.arrival, request.tenant, request.op))
+        return request.arrival + 2_000
+
+    ClosedLoopDriver(config).run(execute)
+    again = []
+
+    def execute2(request):
+        again.append((request.arrival, request.tenant, request.op))
+        return request.arrival + 2_000
+
+    ClosedLoopDriver(config).run(execute2)
+    assert seen == again

@@ -1,0 +1,109 @@
+"""Unit tests for the deterministic serving-layer router."""
+
+import pytest
+
+from repro.serve.router import NAMESPACE_SEPARATOR, Router
+
+TENANTS = ["tenant0", "tenant1", "alpha", "a", "ab", "b"]
+KEYS = [f"{i:016d}".encode() for i in range(64)] + [b"", b"x", b"b/c"]
+
+
+def test_every_key_maps_to_exactly_one_shard():
+    for spread in (1, 3, 8):
+        router = Router(8, seed=7, spread=spread)
+        for tenant in TENANTS:
+            for key in KEYS:
+                shard = router.shard_of(tenant, key)
+                assert isinstance(shard, int)
+                assert 0 <= shard < 8
+                # same request, same router: always the same shard
+                assert router.shard_of(tenant, key) == shard
+
+
+def test_routing_is_deterministic_across_router_instances():
+    a = Router(8, seed=42, spread=3)
+    b = Router(8, seed=42, spread=3)
+    for tenant in TENANTS:
+        for key in KEYS:
+            assert a.shard_of(tenant, key) == b.shard_of(tenant, key)
+
+
+def test_resharding_same_n_same_seed_is_a_noop():
+    # Rebuilding the cluster at the same (num_shards, seed, spread) must
+    # reproduce the placement exactly — no key moves.
+    before = Router(6, seed=99, spread=2)
+    placement = {
+        (tenant, key): before.shard_of(tenant, key)
+        for tenant in TENANTS
+        for key in KEYS
+    }
+    after = Router(6, seed=99, spread=2)
+    for (tenant, key), shard in placement.items():
+        assert after.shard_of(tenant, key) == shard
+
+
+def test_seed_changes_move_keys():
+    a = Router(8, seed=0, spread=8)
+    b = Router(8, seed=1, spread=8)
+    moved = sum(
+        a.shard_of(tenant, key) != b.shard_of(tenant, key)
+        for tenant in TENANTS
+        for key in KEYS
+    )
+    assert moved > 0
+
+
+def test_tenant_namespaces_never_collide():
+    # Stored keys are <tenant>/<key>; tenant ids may not contain the
+    # separator, so the mapping (tenant, key) -> storage key must be
+    # injective even for adversarial pairs like ("a", b"b/c") vs
+    # ("ab", b"c") vs ("a/b" — rejected outright).
+    router = Router(4)
+    seen = {}
+    for tenant in TENANTS:
+        for key in KEYS:
+            stored = router.storage_key(tenant, key)
+            assert stored.split(NAMESPACE_SEPARATOR, 1)[0] == tenant.encode()
+            assert stored not in seen, (seen[stored], (tenant, key))
+            seen[stored] = (tenant, key)
+
+
+def test_tenant_affinity_uses_one_shard():
+    router = Router(8, seed=3, spread=1)
+    for tenant in TENANTS:
+        home = router.shards_of_tenant(tenant)
+        assert len(home) == 1
+        assert {router.shard_of(tenant, key) for key in KEYS} == set(home)
+
+
+def test_spread_keeps_keys_inside_the_home_group():
+    router = Router(8, seed=3, spread=3)
+    for tenant in TENANTS:
+        group = set(router.shards_of_tenant(tenant))
+        assert len(group) == 3
+        used = {router.shard_of(tenant, key) for key in KEYS}
+        assert used <= group
+        # with 67 keys over 3 shards every group member should be hit
+        assert used == group
+
+
+def test_full_spread_stripes_tenants_over_the_cluster():
+    router = Router(4, seed=11, spread=4)
+    used = {router.shard_of("tenant0", key) for key in KEYS}
+    assert used == {0, 1, 2, 3}
+
+
+def test_rejects_bad_tenants_and_shapes():
+    router = Router(4)
+    with pytest.raises(ValueError):
+        router.shard_of("", b"k")
+    with pytest.raises(ValueError):
+        router.shard_of("a/b", b"k")
+    with pytest.raises(ValueError):
+        router.storage_key("a/b", b"k")
+    with pytest.raises(ValueError):
+        Router(0)
+    with pytest.raises(ValueError):
+        Router(4, spread=0)
+    with pytest.raises(ValueError):
+        Router(4, spread=5)

@@ -1,0 +1,207 @@
+"""Integration tests for the serve benchmark and its gate wiring.
+
+One small hot-tenant overload pair (untuned + fair) is run once per
+module and every assertion reads from it: the untuned cluster must
+actually hit backpressure, the fair-scheduled twin must beat it on the
+worst tenant's tail, and the resulting ``repro.serve/1`` document must
+be deterministic (modulo the host section) and gateable by
+``repro.bench.compare``.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.compare import SERVE_METRICS, compare_documents
+from repro.serve.bench import (
+    SERVE_SCHEMA,
+    ServeConfig,
+    fair_variant,
+    render_serve,
+    render_timeline,
+    run_serve,
+    run_serve_pair,
+    serve_document,
+    write_serve_json,
+)
+
+#: hot enough that the untuned hot shard queues *and* sheds, small
+#: enough for a unit-test budget (~2.5 s for the pair)
+SMALL = ServeConfig(
+    num_shards=2,
+    num_tenants=3,
+    arrival_rate=90_000.0,
+    duration_s=0.06,
+    window_ms=10.0,
+)
+
+#: even smaller, for tests that need their own runs
+TINY = ServeConfig(
+    num_shards=2,
+    num_tenants=3,
+    arrival_rate=60_000.0,
+    duration_s=0.03,
+    window_ms=10.0,
+)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return run_serve_pair(SMALL)
+
+
+def canonical(doc):
+    """The byte-deterministic view: host wall-clock stripped."""
+    doc = copy.deepcopy(doc)
+    for row in doc["results"]:
+        row.pop("host", None)
+    return doc
+
+
+def test_pair_runs_untuned_then_fair(pair):
+    base, fair = pair
+    assert base.workload == "serve"
+    assert fair.workload == "serve-fair"
+    # same open-loop stream: both variants face identical offered load
+    assert base.num_ops == fair.num_ops > 0
+
+
+def test_admission_control_engages_on_the_untuned_cluster(pair):
+    base, _ = pair
+    assert base.shed > 0
+    assert base.queued > 0
+    # shedding happens at the hot shard, attributed to a pressure cause
+    sheds = {s.shard: s.admission["shed"] for s in base.shards}
+    assert sum(sheds.values()) == base.shed
+    causes = {}
+    for shard in base.shards:
+        for cause, count in shard.admission["shed_by_pressure"].items():
+            causes[cause] = causes.get(cause, 0) + count
+    assert sum(causes.values()) == base.shed
+    assert causes, "sheds must carry a pressure cause"
+
+
+def test_fair_scheduling_beats_untuned_on_worst_tenant_tail(pair):
+    base, fair = pair
+    assert fair.worst_tenant_p999_us < base.worst_tenant_p999_us
+    assert fair.shed <= base.shed
+    assert fair.blocked_ns <= base.blocked_ns
+
+
+def test_accounting_adds_up(pair):
+    for result in pair:
+        assert result.served + result.shed == result.num_ops
+        assert sum(t.served for t in result.tenants) == result.served
+        assert sum(t.shed for t in result.tenants) == result.shed
+        assert sum(s.served for s in result.shards) == result.served
+        assert sum(s.shed for s in result.shards) == result.shed
+        assert result.blocked_ns == sum(
+            s.stalls["blocked_ns"] for s in result.shards
+        )
+        assert result.fairness_ratio >= 1.0
+        assert result.worst_tenant_p999_us >= result.worst_tenant_p99_us
+        assert result.windows, "timeline windows missing"
+        if result.shed:
+            assert 0 < sum(w["shed"] for w in result.windows) <= result.shed
+
+
+def test_document_schema_and_shape(pair):
+    doc = serve_document(pair, meta={"k": "v"})
+    assert doc["schema"] == SERVE_SCHEMA
+    assert doc["meta"] == {"k": "v"}
+    rows = {r["workload"]: r for r in doc["results"]}
+    assert set(rows) == {"serve", "serve-fair"}
+    for row in rows.values():
+        assert {"ops", "served", "shed", "queued", "fairness_ratio",
+                "worst_tenant_p99_us", "worst_tenant_p999_us",
+                "blocked_ns"} <= set(row)
+        assert row["extras"] == {
+            "num_shards": SMALL.num_shards,
+            "num_tenants": SMALL.num_tenants,
+        }
+        tenants = {t["tenant"] for t in row["tenants"]}
+        assert tenants == set(SMALL.load_config().tenant_ids())
+        for tenant in row["tenants"]:
+            assert {"p50_us", "p99_us", "p999_us",
+                    "worst_window_p999_us"} <= set(tenant)
+        assert len(row["shards"]) == SMALL.num_shards
+    # the document round-trips through JSON
+    assert json.loads(json.dumps(doc)) == doc
+
+
+def test_serve_run_is_deterministic_modulo_host():
+    a = serve_document([run_serve(TINY)])
+    b = serve_document([run_serve(TINY)])
+    assert canonical(a) == canonical(b)
+    # only the host wall-clock may differ between identical runs
+    assert json.dumps(canonical(a), sort_keys=True) == json.dumps(
+        canonical(b), sort_keys=True
+    )
+
+
+def test_fair_variant_same_workload_different_tuning():
+    fair = fair_variant(TINY)
+    assert fair.variant == "serve-fair"
+    assert TINY.variant == "serve"
+    assert fair.compaction_rate_bytes_per_sec > 0
+    assert fair.compaction_rate_fair and fair.dynamic_slowdown
+    # the workload shape is untouched: same stream, same seed
+    assert fair.load_config() == TINY.load_config()
+
+
+def test_compare_gate_accepts_and_gates_serve_documents(pair):
+    doc = serve_document(pair)
+    report = compare_documents(doc, doc)
+    assert report.passed
+    gated = {d.metric for d in report.deltas}
+    assert gated == {m.name for m in SERVE_METRICS}
+
+    worse = canonical(doc)
+    for row in worse["results"]:
+        row["worst_tenant_p999_us"] = row["worst_tenant_p999_us"] * 10 + 1e4
+    report = compare_documents(doc, worse)
+    assert not report.passed
+    assert all(
+        d.metric == "worst_tenant_p999_us" for d in report.regressions
+    )
+
+
+def test_write_serve_json_round_trip(tmp_path, pair):
+    path = tmp_path / "serve.json"
+    doc = write_serve_json(str(path), pair, meta={"rate": 90_000})
+    on_disk = json.loads(path.read_text())
+    assert on_disk == json.loads(json.dumps(doc))
+    assert on_disk["schema"] == SERVE_SCHEMA
+
+
+def test_renderers_tell_the_story(pair):
+    base, fair = pair
+    timeline = render_timeline(base)
+    assert "shards x" in timeline and "tenants" in timeline
+    assert "fairness (max/min tenant p99)" in timeline
+    for tenant in SMALL.load_config().tenant_ids():
+        assert tenant in timeline
+    text = render_serve(pair)
+    assert "multi-tenant stability: fair vs untuned" in text
+    assert f"shed {base.shed} -> {fair.shed}" in text
+
+
+def test_closed_loop_mode_runs():
+    config = ServeConfig(
+        num_shards=2,
+        num_tenants=2,
+        duration_s=0.005,
+        mode="closed",
+        clients_per_tenant=2,
+        window_ms=5.0,
+    )
+    result = run_serve(config)
+    assert result.mode == "closed"
+    assert result.served > 0
+    assert {t.tenant for t in result.tenants} == {"tenant0", "tenant1"}
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        run_serve(ServeConfig(duration_s=0.001, mode="bogus"))
