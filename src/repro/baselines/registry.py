@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Type
 
 from repro.core.noblsm import NobLSM
+from repro.core.noblsm_kv import NobLSMKV
 from repro.baselines.bolt import BoLT
 from repro.baselines.hyperleveldb import HyperLevelDBLike
 from repro.baselines.l2sm import L2SMLike
@@ -15,7 +16,9 @@ from repro.fs.stack import StorageStack
 from repro.lsm.db import DB
 from repro.lsm.options import Options
 
-#: the seven stores of Figures 4 and 5, plus the volatile baseline
+#: the seven stores of Figures 4 and 5, plus the volatile baseline and
+#: the key-value-separated NobLSM variant (inert unless the options set
+#: ``value_threshold``)
 STORE_CLASSES: Dict[str, Type[DB]] = {
     "leveldb": DB,
     "bolt": BoLT,
@@ -24,6 +27,7 @@ STORE_CLASSES: Dict[str, Type[DB]] = {
     "hyperleveldb": HyperLevelDBLike,
     "pebblesdb": PebblesDBLike,
     "noblsm": NobLSM,
+    "noblsm-kv": NobLSMKV,
     "volatile": VolatileLevelDB,
 }
 

@@ -23,6 +23,10 @@ Usage::
     python -m repro.bench serve        [--shards 4] [--tenants 6]
                                        [--rate 90000] [--duration 0.3]
                                        [--mode open] [--max-queue 32]
+    python -m repro.bench amplification [--scale 2000] [--num 0]
+                                       [--stores noblsm,noblsm-kv]
+                                       [--value-sizes 1024,4096]
+                                       [--value-threshold 1024]
     python -m repro.bench compare BASELINE.json CURRENT.json
                                        [--thresholds us_per_op=0.1,...]
 
@@ -44,10 +48,13 @@ deterministic router with tenant-affine placement, hot-tenant zipf
 skew, a diurnal open-loop arrival curve, and per-shard admission
 control — once untuned and once fair-scheduled, reporting per-tenant
 and per-shard p50/p99/p99.9, the fairness ratio, and shed/queued
-counts (``repro.serve/1``). ``compare`` diffs two ``repro.bench/1`` /
-``repro.speed/1`` / ``repro.soak/1`` / ``repro.serve/1`` JSONs and
-exits non-zero on a regression — the CI perf gate. ``all`` regenerates
-the figures only.
+counts (``repro.serve/1``). ``amplification`` sweeps write/read/space
+amplification over a large-value fillrandom grid, noblsm against the
+key-value-separated noblsm-kv (``repro.amplification/1``). ``compare``
+diffs two ``repro.bench/1`` / ``repro.speed/1`` / ``repro.soak/1`` /
+``repro.serve/1`` / ``repro.amplification/1`` JSONs and exits non-zero
+on a regression — the CI perf gate. ``all`` regenerates the figures
+only.
 """
 
 from __future__ import annotations
@@ -479,6 +486,61 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_amplification(args) -> int:
+    """The ``amplification`` target: noblsm vs noblsm-kv WA/RA/SA sweep."""
+    from repro.bench.amplification import (
+        DEFAULT_SCALE,
+        DEFAULT_STORES,
+        DEFAULT_VALUE_SIZES,
+        DEFAULT_VALUE_THRESHOLD,
+        amplification_document,
+        render_amplification,
+        run_amplification_sweep,
+    )
+
+    stores = args.stores.split(",") if args.stores else list(DEFAULT_STORES)
+    value_sizes = (
+        [int(v) for v in args.value_sizes.split(",")]
+        if args.value_sizes
+        else list(DEFAULT_VALUE_SIZES)
+    )
+    scale = args.scale or DEFAULT_SCALE
+    threshold = (
+        args.value_threshold
+        if args.value_threshold is not None
+        else DEFAULT_VALUE_THRESHOLD
+    )
+    seed = args.seed if args.seed else 1234
+    rows = run_amplification_sweep(
+        stores=stores,
+        value_sizes=value_sizes,
+        scale=scale,
+        num_ops=args.num if args.num != 240 else 0,
+        value_threshold=threshold,
+        seed=seed,
+    )
+    print(render_amplification(rows))
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+        path = os.path.join(args.json, "amplification.json")
+        doc = amplification_document(
+            rows,
+            meta={
+                "target": "amplification",
+                "stores": stores,
+                "value_sizes": value_sizes,
+                "scale": scale,
+                "value_threshold": threshold,
+                "seed": seed,
+            },
+        )
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {path}")
+    return 0
+
+
 def _run_compare(args) -> int:
     """The ``compare`` target: perf gate over two repro.bench/1 files."""
     from repro.bench.compare import (
@@ -514,7 +576,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "target",
         choices=ALL_TARGETS
         + ["all", "crash-matrix", "parallelism", "fillrandom", "speed",
-           "soak", "serve", "compare"],
+           "soak", "serve", "amplification", "compare"],
     )
     parser.add_argument(
         "paths",
@@ -674,6 +736,20 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(default 0.4)",
     )
     parser.add_argument(
+        "--value-sizes",
+        type=str,
+        default=None,
+        help="amplification: comma-separated value sizes in bytes "
+             "(default 1024,4096)",
+    )
+    parser.add_argument(
+        "--value-threshold",
+        type=int,
+        default=None,
+        help="amplification: kv separation threshold in bytes, applied "
+             "to *-kv stores only (default 1024)",
+    )
+    parser.add_argument(
         "--thresholds",
         type=str,
         default=None,
@@ -693,6 +769,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_soak(args)
     if args.target == "serve":
         return _run_serve(args)
+    if args.target == "amplification":
+        return _run_amplification(args)
     if args.target == "compare":
         return _run_compare(args)
     stores = args.stores.split(",") if args.stores else None

@@ -27,6 +27,7 @@ SCHEMA = "repro.bench/1"
 SPEED_SCHEMA = "repro.speed/1"
 SOAK_SCHEMA = "repro.soak/1"
 SERVE_SCHEMA = "repro.serve/1"
+AMPLIFICATION_SCHEMA = "repro.amplification/1"
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,19 @@ SERVE_METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec("fairness_ratio", 0.25, 0.5),
     MetricSpec("shed", 0.25, 20.0),
     MetricSpec("blocked_ns", 0.25, 5e6),
+)
+
+#: the ``repro.amplification/1`` gate (all lower-is-better ratios from
+#: deterministic virtual-time runs). ``wa_device`` and ``wa_compaction``
+#: are the headline write-amplification claims the kv variant exists
+#: for; ``ra_point`` absorbs more wobble because probe counts shift with
+#: any compaction-shape change; ``space_amp`` guards vLog garbage from
+#: piling up unreclaimed.
+AMPLIFICATION_METRICS: Tuple[MetricSpec, ...] = (
+    MetricSpec("wa_device", 0.10, 0.05),
+    MetricSpec("wa_compaction", 0.10, 0.05),
+    MetricSpec("ra_point", 0.25, 0.25),
+    MetricSpec("space_amp", 0.10, 0.05),
 )
 
 #: row-identity fields; extras are included when present
@@ -186,10 +200,17 @@ def parse_thresholds(spec: Optional[str]) -> Optional[Dict[str, float]]:
 
 def _check_schema(doc: Dict[str, object], which: str) -> str:
     schema = doc.get("schema") if isinstance(doc, dict) else None
-    if schema not in (SCHEMA, SPEED_SCHEMA, SOAK_SCHEMA, SERVE_SCHEMA):
+    known = (
+        SCHEMA,
+        SPEED_SCHEMA,
+        SOAK_SCHEMA,
+        SERVE_SCHEMA,
+        AMPLIFICATION_SCHEMA,
+    )
+    if schema not in known:
         raise ValueError(
-            f"{which} document is not {SCHEMA!r}, {SPEED_SCHEMA!r}, "
-            f"{SOAK_SCHEMA!r} or {SERVE_SCHEMA!r} "
+            f"{which} document is not one of "
+            f"{', '.join(repr(s) for s in known)} "
             f"(schema={schema if isinstance(doc, dict) else doc!r})"
         )
     if not isinstance(doc.get("results"), list):
@@ -221,6 +242,8 @@ def compare_documents(
         metric_set = SOAK_METRICS
     elif base_schema == SERVE_SCHEMA:
         metric_set = SERVE_METRICS
+    elif base_schema == AMPLIFICATION_SCHEMA:
+        metric_set = AMPLIFICATION_METRICS
     else:
         metric_set = DEFAULT_METRICS
     metrics = [

@@ -53,6 +53,9 @@ class ScaledConfig:
     num_channels: int = 1
     #: store parallelism: background compaction threads
     background_threads: int = 1
+    #: key-value separation (noblsm-kv): values >= this many bytes move
+    #: to the vLog; ``None`` keeps every store in plain LSM mode
+    value_threshold: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scale < 1:
@@ -71,6 +74,8 @@ class ScaledConfig:
         )
         if self.background_threads != 1:
             options.background_threads = self.background_threads
+        if self.value_threshold is not None:
+            options.value_threshold = self.value_threshold
         return options
 
     def dataset_bytes(self) -> int:

@@ -165,6 +165,8 @@ class NobLSM(DB):
                 continue  # volatile tail lost in the crash: not durable
             if not table.index.keys:
                 continue
+            if not self._orphan_intact(table):
+                continue
             max_seq, t = table.max_sequence(t)
             if max_seq <= self.versions.last_sequence:
                 continue  # a shadow or an already-covered output
@@ -196,6 +198,10 @@ class NobLSM(DB):
             self.stats.extras.get("adopted_orphans", 0) + len(adopted)
         )
         return self.versions.log_and_apply(edit, t)
+
+    def _orphan_intact(self, table) -> bool:
+        """Hook: content-level orphan checks (noblsm-kv: vLog pointers)."""
+        return True
 
     def _validate_recovered_file(self, meta: FileMetaData) -> bool:
         """Did this MANIFEST-referenced SSTable survive the crash intact?

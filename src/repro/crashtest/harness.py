@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.noblsm import NobLSM
+from repro.core.noblsm_kv import NobLSMKV
 from repro.crashtest.oracle import DurabilityOracle, LostTailStats, Violation
 from repro.crashtest.points import (
     CrashPoint,
@@ -42,6 +43,9 @@ WorkloadOp = Tuple[str, bytes, Optional[bytes]]
 MODES: Dict[str, Tuple[type, bool]] = {
     # the paper's store: one fsync per KV pair, async commits elsewhere
     "noblsm": (NobLSM, False),
+    # key-value separation on top of noblsm: every workload value rides
+    # the vLog, exercising commit-gated segment reclamation under crash
+    "noblsm-kv": (NobLSMKV, False),
     # sync-everything baseline: WAL fsync on every write, so every acked
     # operation must survive any crash
     "sync": (DB, True),
@@ -93,6 +97,12 @@ class CrashMatrixConfig:
             options.background_threads = self.background_threads
         if MODES[self.mode][1]:
             options.sync.sync_wal = True
+        if self.mode.endswith("-kv"):
+            # the workload's 27-byte values all separate; tiny segments
+            # and an eager GC ratio force relocation + retirement churn
+            options.value_threshold = 16
+            options.vlog_segment_bytes = 512
+            options.vlog_gc_garbage_ratio = 0.3
         return options
 
     def build_stack(
@@ -245,6 +255,134 @@ def _shadow_violations(db) -> List[Violation]:
     return violations
 
 
+def _vlog_violations(db) -> List[Violation]:
+    """Commit-gated segment retirement: no reclaim before the gate.
+
+    Checked on the live (pre-crash) stack, mirroring the shadow check,
+    in two layers. First, a segment whose retirement barrier has not
+    fully committed must still exist on disk — after a crash it may
+    hold the only durable copy of values whose relocating tables never
+    committed. Second — independently of the store's own retirement
+    bookkeeping, so a lying gate cannot hide from it — every table that
+    recovery could still roll back to (a predecessor of an unresolved
+    dependency group, or any non-shadow table in the current version)
+    must have its vLog pointers backed by a segment that exists. A
+    broken gate empties the pending-retirement list instantly, but it
+    cannot stop the unresolved groups from naming the predecessor
+    tables whose pointers the early reclaim just severed.
+    """
+    from repro.lsm.filenames import table_file_name, vlog_file_name
+    from repro.lsm.format import TYPE_VALUE, CorruptionError
+    from repro.lsm.sstable import Table
+    from repro.lsm.vlog import POINTER_PREFIX, decode_pointer
+
+    if db is None or getattr(db, "vlog", None) is None:
+        return []
+    violations: List[Violation] = []
+    for segment, barrier in db.pending_segment_retirements:
+        path = vlog_file_name(db.dbname, segment)
+        if barrier and not db.fs.exists(path):
+            violations.append(
+                Violation(
+                    "segment-reclaimed-early",
+                    path.encode(),
+                    f"vlog segment {segment} missing while its barrier "
+                    f"{barrier} has uncommitted inodes",
+                )
+            )
+
+    paths = set()
+    tracker = getattr(db, "tracker", None)
+    if tracker is not None:
+        for group in tracker.unresolved_groups():
+            for ref in group.predecessors:
+                paths.add(ref.path)
+    for files in db.versions.current.files:
+        for meta in files:
+            if not meta.shadow:
+                paths.add(table_file_name(db.dbname, meta.number))
+    fs = db.fs
+    t = db.stack.now
+    flagged = set()
+    for path in sorted(paths):
+        if not fs.exists(path):
+            continue  # _shadow_violations owns missing-predecessor checks
+        try:
+            table, t = Table.open(fs, path, at=t)
+            entries, t = table.all_entries(at=t)
+        except CorruptionError:
+            continue  # a mid-write table is not yet recovery-relevant
+        for internal_key, value in entries:
+            if internal_key[-8] != TYPE_VALUE or value[:1] != POINTER_PREFIX:
+                continue
+            segment, _, _ = decode_pointer(value)
+            if (path, segment) in flagged:
+                continue
+            if not fs.exists(vlog_file_name(db.dbname, segment)):
+                flagged.add((path, segment))
+                violations.append(
+                    Violation(
+                        "segment-reclaimed-early",
+                        path.encode(),
+                        f"recovery-relevant table {path} points at vlog "
+                        f"segment {segment} which is already unlinked",
+                    )
+                )
+    return violations
+
+
+def _recovered_vlog_violations(recovered, stack: StorageStack) -> List[Violation]:
+    """Every pointer in the recovered version must resolve.
+
+    The recovery validator should have rolled back any table whose
+    pointers dangle; a pointer that still escapes into the recovered
+    version means a value was durably lost while its key survived —
+    exactly what commit-gated reclamation exists to prevent.
+    """
+    from repro.lsm.filenames import table_file_name, vlog_file_name
+    from repro.lsm.format import TYPE_VALUE, CorruptionError
+    from repro.lsm.sstable import Table
+    from repro.lsm.vlog import POINTER_PREFIX, decode_pointer
+
+    if getattr(recovered, "vlog", None) is None:
+        return []
+    violations: List[Violation] = []
+    fs = stack.fs
+    t = stack.now
+    for files in recovered.versions.current.files:
+        for meta in files:
+            if meta.shadow:
+                continue
+            path = table_file_name(recovered.dbname, meta.number)
+            try:
+                table, t = Table.open(fs, path, at=t)
+                entries, t = table.all_entries(at=t)
+            except CorruptionError:
+                continue  # the size validator already vouched; skip
+            for internal_key, value in entries:
+                if (
+                    internal_key[-8] != TYPE_VALUE
+                    or value[:1] != POINTER_PREFIX
+                ):
+                    continue
+                segment, offset, length = decode_pointer(value)
+                seg_path = vlog_file_name(recovered.dbname, segment)
+                if (
+                    not fs.exists(seg_path)
+                    or offset + length > fs.stat_size(seg_path)
+                ):
+                    violations.append(
+                        Violation(
+                            "dangling-vlog-pointer",
+                            internal_key[:-8],
+                            f"table {meta.number} points at segment "
+                            f"{segment} [{offset}, {offset + length}) "
+                            f"which is missing or short after recovery",
+                        )
+                    )
+    return violations
+
+
 def _apply_ops(
     db,
     ops: List[WorkloadOp],
@@ -335,6 +473,7 @@ def run_point(
     interrupt.cancel()
 
     violations = _shadow_violations(db)
+    violations.extend(_vlog_violations(db))
     volatile = _volatile_keys(db, oracle.history)
     crashed_at = stack.now
     trace_events: Optional[List[Dict[str, object]]] = None
@@ -387,6 +526,7 @@ def run_point(
     tail_drops = repair_tail_drops
     recovered_records = 0
     if recovered is not None:
+        violations.extend(_recovered_vlog_violations(recovered, stack))
         tail_drops += recovered.stats.wal_tail_drops
         recovered_records = recovered.stats.recovered_records
         t = stack.now

@@ -11,6 +11,12 @@ becomes a family of candidate injection points:
 - ``mid-writeback`` inside every flusher batch;
 - ``minor-begin`` / ``mid-minor`` and ``major-begin`` / ``mid-major``
   inside every compaction span;
+- ``mid-vlog-append`` inside every vLog value append and ``mid-vlog-gc``
+  inside every GC relocation (noblsm-kv only);
+- ``pre-vlog-reclaim`` / ``post-vlog-reclaim`` bracketing every
+  commit-gated segment unlink — the instants just before the segment
+  disappears and just after (the first moment recovery must cope with
+  its absence);
 - ``mid-wal-append`` between an operation's submission and its ack;
 - ``random`` virtual times drawn uniformly over the run.
 
@@ -31,6 +37,9 @@ SPAN_FAMILIES = {
     "fs.writeback": "writeback",
     "db.compaction.minor": "minor",
     "db.compaction.major": "major",
+    "db.vlog.append": "vlog-append",
+    "db.vlog.gc": "vlog-gc",
+    "db.vlog.reclaim": "vlog-reclaim",
 }
 
 
@@ -77,6 +86,13 @@ def points_from_spans(
             points.append(CrashPoint(end + 1, "commit-boundary"))
         elif family == "writeback":
             points.append(CrashPoint(mid, "mid-writeback"))
+        elif family in ("vlog-append", "vlog-gc"):
+            points.append(CrashPoint(mid, f"mid-{family}"))
+        elif family == "vlog-reclaim":
+            # bracket the unlink: the last instant the segment exists
+            # and the first instant recovery must live without it
+            points.append(CrashPoint(start, "pre-vlog-reclaim"))
+            points.append(CrashPoint(end + 1, "post-vlog-reclaim"))
         else:
             points.append(CrashPoint(start, f"{family}-begin"))
             points.append(CrashPoint(mid, f"mid-{family}"))

@@ -56,6 +56,7 @@ from repro.lsm.iterator import (
     LevelIterator,
     MemTableIterator,
     MergingIterator,
+    ResolvingIterator,
 )
 from repro.lsm.memtable import MemTable
 from repro.lsm.options import Options
@@ -202,6 +203,15 @@ class DB:
 
     #: short name used by benchmark tables
     store_name = "leveldb"
+
+    #: key-value separation hooks, bound as instance attributes by the
+    #: noblsm-kv variant; ``None`` (the class default) keeps every hot
+    #: path on the plain-store behaviour at the cost of one identity
+    #: check, so stores without a vLog stay byte-identical
+    _kv_separate: Optional[Callable[[bytes, int], Tuple[bytes, int]]] = None
+    _kv_rewrite: Optional[Callable[[bytes, int], Tuple[bytes, int]]] = None
+    _kv_drop: Optional[Callable[[bytes], None]] = None
+    _kv_resolve: Optional[Callable[[bytes, int], Tuple[bytes, int]]] = None
 
     def __init__(
         self,
@@ -1040,13 +1050,26 @@ class DB:
         builder = TableBuilder(self.fs, path, self.options, at, number=number)
         t = at
         count = 0
-        for user_key, sequence, value_type, value in imm.sorted_entries():
-            builder.add(make_internal_key(user_key, sequence, value_type), value)
-            count += 1
+        separate = self._kv_separate
+        if separate is None:
+            for user_key, sequence, value_type, value in imm.sorted_entries():
+                builder.add(
+                    make_internal_key(user_key, sequence, value_type), value
+                )
+                count += 1
+        else:
+            for user_key, sequence, value_type, value in imm.sorted_entries():
+                if value_type == TYPE_VALUE:
+                    value, t = separate(value, t)
+                builder.add(
+                    make_internal_key(user_key, sequence, value_type), value
+                )
+                count += 1
         t += count * self.cpu.merge_entry_ns
         size, t = builder.finish(t)
         self.stats.bytes_flushed += size
         handle = builder.handle
+        t = self._prepare_minor_sync(t)
         if self.options.sync.sync_minor:
             t = handle.fdatasync(at=t, reason="minor")
         meta = FileMetaData(
@@ -1076,6 +1099,14 @@ class DB:
         )
         span.end(t)
         return t
+
+    def _prepare_minor_sync(self, at: int) -> int:
+        """Hook: durability work that must precede the L0 table's sync.
+
+        noblsm-kv fdatasyncs the vLog head segment here, so commit
+        ordering guarantees a durable table's pointers always resolve.
+        """
+        return at
 
     def _persist_minor_output(self, meta: FileMetaData, at: int) -> int:
         """Hook: extra durability work for a fresh L0 table (NobLSM: none,
@@ -1129,10 +1160,16 @@ class DB:
         builder: Optional[TableBuilder] = None
         keeper_keep = keeper.keep
         should_stop_before = cutter.should_stop_before
+        kv_drop = self._kv_drop
+        kv_rewrite = self._kv_rewrite
         for user_key, neg_tag, internal_key, value in decorated:
             tag = ~neg_tag
             if not keeper_keep(user_key, tag >> 8, tag & 0xFF):
+                if kv_drop is not None and tag & 0xFF == TYPE_VALUE:
+                    kv_drop(value)
                 continue
+            if kv_rewrite is not None and tag & 0xFF == TYPE_VALUE:
+                value, t = kv_rewrite(value, t)
             if builder is not None and should_stop_before(
                 user_key, builder.current_size
             ):
@@ -1272,6 +1309,8 @@ class DB:
         if self._tracer is not None:
             span = self.obs.start_span("db.get", at)
         value, t = self._get_inner(key, at, snapshot)
+        if value is not None and self._kv_resolve is not None:
+            value, t = self._kv_resolve(value, t)
         if span is not None:
             span.annotate(hit=value is not None)
             span.end(t)
@@ -1363,7 +1402,11 @@ class DB:
         merger = MergingIterator(
             self._iterator_sources(at), self.cpu.iter_next_ns
         )
-        return DBIterator(merger, sequence_bound=self._bound_of(snapshot))
+        iterator = DBIterator(merger, sequence_bound=self._bound_of(snapshot))
+        resolve = self._kv_resolve
+        if resolve is not None:
+            return ResolvingIterator(iterator, resolve)
+        return iterator
 
     def iterate(
         self, at: int, snapshot: Optional[Snapshot] = None

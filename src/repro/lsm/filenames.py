@@ -25,11 +25,15 @@ def temp_file_name(dbname: str, number: int) -> str:
     return f"{dbname}/{number:06d}.dbtmp"
 
 
+def vlog_file_name(dbname: str, number: int) -> str:
+    return f"{dbname}/{number:06d}.vlg"
+
+
 def parse_file_name(dbname: str, path: str) -> Tuple[str, Optional[int]]:
     """Classify a path inside ``dbname``.
 
     Returns (kind, number) where kind is one of 'table', 'log',
-    'manifest', 'current', 'temp' or 'unknown'.
+    'manifest', 'current', 'temp', 'vlog' or 'unknown'.
     """
     prefix = dbname + "/"
     if not path.startswith(prefix):
@@ -42,7 +46,12 @@ def parse_file_name(dbname: str, path: str) -> Tuple[str, Optional[int]]:
             return "manifest", int(name[len("MANIFEST-"):])
         except ValueError:
             return "unknown", None
-    for suffix, kind in ((".ldb", "table"), (".log", "log"), (".dbtmp", "temp")):
+    for suffix, kind in (
+        (".ldb", "table"),
+        (".log", "log"),
+        (".dbtmp", "temp"),
+        (".vlg", "vlog"),
+    ):
         if name.endswith(suffix):
             try:
                 return kind, int(name[: -len(suffix)])

@@ -289,3 +289,58 @@ class DBIterator:
         while self._merger.valid and self._merger.key[:-8] == current:
             self._merger.next()
         self._skip_to_live()
+
+
+class ResolvingIterator:
+    """DBIterator wrapper that maps stored values to user values.
+
+    The noblsm-kv store wraps its iterators here: ``resolve`` strips the
+    inline marker or follows a vLog pointer (charging the read's virtual
+    time). Resolution happens once per positioning, so repeated ``value``
+    accesses neither re-read the vLog nor re-bill its latency.
+    """
+
+    __slots__ = ("_inner", "_resolve", "_value", "_time")
+
+    def __init__(self, inner: DBIterator, resolve) -> None:
+        self._inner = inner
+        self._resolve = resolve
+        self._value: Optional[bytes] = None
+        self._time = inner.time
+
+    def _refresh(self) -> None:
+        inner = self._inner
+        t = max(self._time, inner.time)
+        if inner.valid:
+            self._value, t = self._resolve(inner.value, t)
+        else:
+            self._value = None
+        self._time = t
+
+    def seek_to_first(self) -> None:
+        self._inner.seek_to_first()
+        self._refresh()
+
+    def seek(self, user_key: bytes) -> None:
+        self._inner.seek(user_key)
+        self._refresh()
+
+    def next(self) -> None:
+        self._inner.next()
+        self._refresh()
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def valid(self) -> bool:
+        return self._inner.valid
+
+    @property
+    def key(self) -> bytes:
+        return self._inner.key
+
+    @property
+    def value(self) -> bytes:
+        return self._value

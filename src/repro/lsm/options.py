@@ -11,7 +11,7 @@ compaction dynamics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List
+from typing import List, Optional
 
 KIB = 1024
 MIB = 1024 * 1024
@@ -78,6 +78,18 @@ class Options:
     #: dynamic slowdown delay just below the stop trigger
     dynamic_slowdown_max_ns: int = 4_000_000
 
+    # key-value separation (WiscKey-style vLog; used by the noblsm-kv
+    # store variant, all default OFF: plain stores never consult these)
+    #: separate values of at least this many bytes into the vLog at
+    #: flush time; ``None`` disables separation entirely (the seed
+    #: configuration — byte-identical to a store without a vLog)
+    value_threshold: Optional[int] = None
+    #: roll the vLog head segment once it reaches this many bytes
+    vlog_segment_bytes: int = 1 * MIB
+    #: relocate a sealed segment's live values during major compaction
+    #: once its garbage fraction reaches this ratio
+    vlog_gc_garbage_ratio: float = 0.5
+
     # durability
     sync: SyncPolicy = field(default_factory=SyncPolicy)
 
@@ -120,6 +132,12 @@ class Options:
                 )
         if self.reclaim_interval_ns <= 0:
             raise ValueError("reclaim_interval_ns must be positive")
+        if self.value_threshold is not None and self.value_threshold < 0:
+            raise ValueError("value_threshold must be >= 0 (or None)")
+        if self.vlog_segment_bytes <= 0:
+            raise ValueError("vlog_segment_bytes must be positive")
+        if not 0.0 < self.vlog_gc_garbage_ratio <= 1.0:
+            raise ValueError("vlog_gc_garbage_ratio must be in (0, 1]")
 
     def max_bytes_for_level(self, level: int) -> float:
         """Capacity limit of level ``level`` (level >= 1)."""
@@ -156,6 +174,7 @@ class Options:
                 int(self.max_bytes_for_level_base / scale), 2 * KIB
             ),
             block_cache_bytes=max(int(self.block_cache_bytes / scale), 8 * KIB),
+            vlog_segment_bytes=max(int(self.vlog_segment_bytes / scale), 4 * KIB),
             sync=replace(self.sync),
         )
 

@@ -38,6 +38,56 @@ def test_table_get_restored_after_probe():
     assert Table.get is before  # monkeypatch cleaned up
 
 
+def test_kv_sweep_reduces_write_amplification():
+    """The separation claim at honest accounting: noblsm-kv must write
+    strictly fewer bytes per user byte than noblsm at 4 KiB values,
+    even with vLog appends counted into WA(compaction) and the full
+    (garbage-included) vLog footprint counted into SA."""
+    from repro.bench.amplification import run_amplification_sweep
+
+    rows = run_amplification_sweep(
+        value_sizes=(4096,), scale=2000.0, num_ops=2500
+    )
+    by_store = {row["store"]: row for row in rows}
+    kv, plain = by_store["noblsm-kv"], by_store["noblsm"]
+    assert kv["wa_device"] < plain["wa_device"]
+    assert kv["wa_compaction"] < plain["wa_compaction"]
+    assert kv["vlog_bytes"] > 0
+    assert kv["vlog"]["vlog_appended_bytes"] > 0
+
+
+def test_amplification_document_compares_cleanly():
+    from repro.bench.amplification import (
+        AMPLIFICATION_SCHEMA,
+        amplification_document,
+        run_amplification_sweep,
+    )
+    from repro.bench.compare import compare_documents
+
+    rows = run_amplification_sweep(
+        value_sizes=(1024,), scale=2000.0, num_ops=1500
+    )
+    doc = amplification_document(rows, {"target": "amplification"})
+    assert doc["schema"] == AMPLIFICATION_SCHEMA
+    report = compare_documents(doc, doc)
+    assert report.passed
+    gated = {d.metric for d in report.deltas}
+    assert gated == {"wa_device", "wa_compaction", "ra_point", "space_amp"}
+
+
+def test_render_amplification_lists_stores():
+    from repro.bench.amplification import (
+        render_amplification,
+        run_amplification_sweep,
+    )
+
+    rows = run_amplification_sweep(
+        value_sizes=(1024,), scale=2000.0, num_ops=1000
+    )
+    text = render_amplification(rows)
+    assert "noblsm" in text and "noblsm-kv" in text
+
+
 def test_dbbench_cli_runs(capsys):
     from repro.bench.dbbench_cli import main
 

@@ -1,0 +1,130 @@
+"""Crash-matrix coverage for the noblsm-kv vLog, plus the gate mutation.
+
+The headline regression test breaks the segment-retirement commit gate
+(``_retirement_committed`` always says yes) and asserts the matrix
+flags the resulting premature reclaims. The detection must not depend
+on the store's own retirement bookkeeping — a lying gate empties that
+instantly — so the harness independently cross-checks every
+recovery-relevant table's pointers against the on-disk segment set.
+"""
+
+import pytest
+
+from repro.core.noblsm_kv import NobLSMKV
+from repro.crashtest.harness import (
+    CrashMatrixConfig,
+    build_workload,
+    run_crash_matrix,
+    run_point,
+)
+from repro.crashtest.points import CrashPoint, points_from_spans
+
+# the smallest budget at which GC + retirement happen inside the
+# workload horizon; CI uses the same floor for its kv sweep
+KV_CONFIG = dict(mode="noblsm-kv", points=60, num_ops=240)
+
+
+@pytest.fixture(scope="module")
+def kv_report():
+    return run_crash_matrix(CrashMatrixConfig(**KV_CONFIG))
+
+
+def test_kv_matrix_has_no_violations(kv_report):
+    assert kv_report.violations == []
+    assert kv_report.recovery_modes["failed"] == 0
+
+
+def test_kv_matrix_covers_vlog_families(kv_report):
+    """All four vLog point families must actually be explored."""
+    kinds = set(kv_report.points_by_kind)
+    assert {
+        "mid-vlog-append",
+        "mid-vlog-gc",
+        "pre-vlog-reclaim",
+        "post-vlog-reclaim",
+    } <= kinds, f"vlog families missing from {sorted(kinds)}"
+
+
+def test_vlog_spans_map_to_point_kinds():
+    spans = [
+        ("db.vlog.append", 100, 200),
+        ("db.vlog.gc", 300, 400),
+        ("db.vlog.reclaim", 500, 600),
+    ]
+    points = points_from_spans(spans)
+    kinds = {p.kind: p.time_ns for p in points}
+    assert kinds["mid-vlog-append"] == 150
+    assert kinds["mid-vlog-gc"] == 350
+    assert kinds["pre-vlog-reclaim"] == 500
+    assert kinds["post-vlog-reclaim"] == 601
+
+
+def test_broken_reclaim_gate_is_caught():
+    """THE mutation test: disable the commit gate, matrix must flag it.
+
+    With ``_retirement_committed`` short-circuited to True, dead
+    segments are unlinked the instant they retire — while compaction
+    outputs holding the relocated pointers are still uncommitted. The
+    sweep must report ``segment-reclaimed-early`` violations."""
+    original = NobLSMKV._retirement_committed
+    NobLSMKV._retirement_committed = lambda self, barrier, at: (True, at)
+    try:
+        report = run_crash_matrix(CrashMatrixConfig(**KV_CONFIG))
+    finally:
+        NobLSMKV._retirement_committed = original
+    kinds = {v.kind for v in report.violations}
+    assert "segment-reclaimed-early" in kinds, (
+        "the crash matrix failed to flag reclaim-before-commit"
+    )
+
+
+def test_broken_gate_caught_at_single_post_reclaim_point():
+    """The detection does not need a lucky sweep: one crash point right
+    after an early reclaim already fires, keeping the mutation signal
+    deterministic at minimum budget."""
+    import repro.lsm.vlog as vlog_module
+
+    config = CrashMatrixConfig(**KV_CONFIG)
+    ops = build_workload(config)
+    original = NobLSMKV._retirement_committed
+    NobLSMKV._retirement_committed = lambda self, barrier, at: (True, at)
+    reclaim_times = []
+    orig_reclaim = vlog_module.VLog.reclaim_segment
+
+    def logging(self, segment, at):
+        reclaim_times.append(at)
+        return orig_reclaim(self, segment, at)
+
+    vlog_module.VLog.reclaim_segment = logging
+    try:
+        # reference pass just to learn when the first early reclaim is
+        stack = config.build_stack()
+        db = config.build_store(stack)
+        from repro.crashtest.harness import _apply_ops
+
+        _apply_ops(db, ops, stack)
+        stack.events.run_until(stack.now + 3 * config.commit_interval_ns)
+        db.close(stack.now)
+        assert reclaim_times, "broken gate never reclaimed anything"
+        vlog_module.VLog.reclaim_segment = orig_reclaim
+        result = run_point(
+            config, ops, CrashPoint(reclaim_times[0] + 1, "post-vlog-reclaim")
+        )
+    finally:
+        vlog_module.VLog.reclaim_segment = orig_reclaim
+        NobLSMKV._retirement_committed = original
+    assert any(
+        v.kind == "segment-reclaimed-early" for v in result.violations
+    )
+
+
+def test_kv_matrix_is_deterministic():
+    config = CrashMatrixConfig(mode="noblsm-kv", points=10, num_ops=120)
+    first = run_crash_matrix(config)
+    second = run_crash_matrix(config)
+    assert [r.point for r in first.results] == [
+        r.point for r in second.results
+    ]
+    assert [r.recovery for r in first.results] == [
+        r.recovery for r in second.results
+    ]

@@ -1,0 +1,159 @@
+"""Differential property test: noblsm-kv is read-equivalent to noblsm.
+
+Key-value separation must be invisible to readers. For randomized
+seeded put/get/delete/scan workloads, a noblsm-kv store at several
+separation thresholds — 0 (everything rides the vLog), 64 (the mix
+splits), 4096 (nothing separates) — must converge to exactly the same
+final key → value map and scan order as plain NobLSM, on both the
+serial seed configuration and the parallel one (4 channels x 2
+threads). Interleaved reads keep the pointer-resolution path honest
+while flushes and GC run underneath.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.registry import make_store
+from repro.fs.jbd2 import JournalConfig
+from repro.fs.stack import StackConfig, StorageStack
+from repro.lsm.options import KIB, Options
+from repro.sim.clock import millis
+
+THRESHOLDS = [0, 64, 4096]
+CONFIGS = [(1, 1), (4, 2)]  # (channels, threads)
+KEY_SPACE = 48
+
+
+def build(name, channels, threads, value_threshold=None):
+    stack = StorageStack(
+        StackConfig(
+            journal=JournalConfig(commit_interval_ns=millis(20)),
+            num_channels=channels if channels != 1 else None,
+        )
+    )
+    options = Options(
+        write_buffer_size=2 * KIB,
+        max_file_size=1 * KIB,
+        block_size=256,
+        max_bytes_for_level_base=2 * KIB,
+        l0_compaction_trigger=2,
+        background_threads=threads,
+    )
+    options.reclaim_interval_ns = millis(20)
+    if value_threshold is not None:
+        options.value_threshold = value_threshold
+        options.vlog_segment_bytes = 1 * KIB
+        options.vlog_gc_garbage_ratio = 0.3
+    return stack, make_store(name, stack, options=options)
+
+
+def workload(seed, num_ops=300):
+    """Seeded put/delete/get mix with mixed value sizes; returns
+    (ops, final dict model). Values straddle the 64-byte threshold."""
+    rng = random.Random(seed)
+    ops = []
+    model = {}
+    for i in range(num_ops):
+        key = f"key{rng.randrange(KEY_SPACE):04d}".encode()
+        roll = rng.random()
+        if roll < 0.12:
+            ops.append(("delete", key, None))
+            model.pop(key, None)
+        elif roll < 0.25:
+            ops.append(("get", key, None))
+        else:
+            width = rng.choice((1, 1, 4, 12))  # 24ish / 100ish / 300ish
+            value = f"v{i:04d}-{rng.randrange(10**8):08d}".encode() * width
+            ops.append(("put", key, value))
+            model[key] = value
+    return ops, model
+
+
+def apply_workload(db, stack, ops):
+    """Returns (get results in op order, final t)."""
+    t = stack.now
+    reads = []
+    for kind, key, value in ops:
+        if kind == "put":
+            t = db.put(key, value, t)
+        elif kind == "delete":
+            t = db.delete(key, t)
+        else:
+            got, t = db.get(key, t)
+            reads.append((key, got))
+    t = db.wait_for_background(t)
+    t = max(t, stack.settle())
+    return reads, db.reclaim(t)
+
+
+def final_gets(db, t):
+    out = {}
+    for i in range(KEY_SPACE):
+        key = f"key{i:04d}".encode()
+        value, t = db.get(key, t)
+        if value is not None:
+            out[key] = value
+    return out
+
+
+@pytest.mark.parametrize("channels,threads", CONFIGS)
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_kv_matches_noblsm(threshold, channels, threads):
+    for seed in (5, 71):
+        ops, model = workload(seed)
+        stack_a, kv = build("noblsm-kv", channels, threads, threshold)
+        reads_a, t_a = apply_workload(kv, stack_a, ops)
+        stack_b, plain = build("noblsm", channels, threads)
+        reads_b, t_b = apply_workload(plain, stack_b, ops)
+
+        # interleaved reads agree op-for-op
+        assert reads_a == reads_b, f"mid-run get diverged (seed {seed})"
+        # final point-lookup views agree with each other and the model
+        assert final_gets(kv, t_a) == model, f"kv diverged (seed {seed})"
+        assert final_gets(plain, t_b) == model
+        # full scans agree in content and order
+        pairs_a, _ = kv.scan(b"", KEY_SPACE + 10, t_a)
+        pairs_b, _ = plain.scan(b"", KEY_SPACE + 10, t_b)
+        assert pairs_a == pairs_b, f"scan diverged (seed {seed})"
+        assert [k for k, _ in pairs_a] == sorted(model)
+
+        # sanity: the threshold actually steered separation
+        if threshold == 0:
+            assert kv.vlog.appends > 0
+        elif threshold == 4096:
+            assert kv.vlog.appends == 0
+
+
+@pytest.mark.parametrize("threshold", [0, 64])
+def test_kv_survives_reopen(threshold):
+    """Close + reopen mid-history: the rebuilt vLog accounting must not
+    disturb read equivalence."""
+    ops, model = workload(29, num_ops=240)
+    half = len(ops) // 2
+    stack, kv = build("noblsm-kv", 1, 1, threshold)
+    apply_workload(kv, stack, ops[:half])
+    kv.close(stack.now)
+    kv = make_store(
+        "noblsm-kv",
+        stack,
+        options=build_options_like(threshold),
+    )
+    _, t = apply_workload(kv, stack, ops[half:])
+    assert final_gets(kv, t) == model
+
+
+def build_options_like(value_threshold):
+    options = Options(
+        write_buffer_size=2 * KIB,
+        max_file_size=1 * KIB,
+        block_size=256,
+        max_bytes_for_level_base=2 * KIB,
+        l0_compaction_trigger=2,
+        background_threads=1,
+    )
+    options.reclaim_interval_ns = millis(20)
+    options.value_threshold = value_threshold
+    options.vlog_segment_bytes = 1 * KIB
+    options.vlog_gc_garbage_ratio = 0.3
+    return options
