@@ -12,6 +12,7 @@ RUN = PYTHONPATH=src $(PYTHON)
 	soak soak-gate refresh-soak-baseline \
 	serve serve-gate refresh-serve-baseline \
 	amplification amplification-gate refresh-amplification-baseline \
+	slo slo-gate refresh-slo-baseline \
 	artifacts clean
 
 # CI-sized soak: short enough for a gate job, long enough for the tree
@@ -24,6 +25,13 @@ SOAK_GATE_ARGS = --rate 40000 --duration 0.3 --window-ms 25
 # CLI defaults; refresh-serve-baseline MUST use the same parameters or
 # the gate compares different experiments.
 SERVE_GATE_ARGS = --rate 90000 --duration 0.3 --window-ms 25
+
+# CI-sized flight-recorder run: the serve pair with continuous
+# telemetry and SLO burn-rate alerting; the untuned cluster's shed
+# burst must fire a fast-burn alert while the fair twin stays silent.
+# refresh-slo-baseline MUST use the same parameters or the gate
+# compares different experiments.
+SLO_GATE_ARGS = --rate 90000 --duration 0.3 --window-ms 25 --interval-ms 5
 
 # CI-sized amplification sweep: noblsm vs noblsm-kv at 1 KiB and 4 KiB
 # values (the amplification CLI defaults). refresh-amplification-baseline
@@ -154,6 +162,29 @@ amplification-gate:
 # Re-record the amplification baseline after a deliberate behaviour change.
 refresh-amplification-baseline:
 	$(RUN) -m repro.bench.cli amplification $(AMP_GATE_ARGS) \
+		--json benchmarks/baselines
+
+# Flight recorder: serve pair with continuous telemetry, SLO burn-rate
+# alerts, and the ascii dashboard (repro.slo/1 + repro.timeseries/1).
+slo:
+	mkdir -p results
+	$(RUN) -m repro.bench.cli slo --json results
+
+# CI's alerting gate, two assertions in one run: --gate checks alert
+# *discrimination* (untuned fires a fast-burn alert, tuned fires none),
+# then compare checks the alert counts/burn levels against the recorded
+# baseline so alerts cannot silently appear or vanish.
+slo-gate:
+	rm -rf results/slo-gate && mkdir -p results/slo-gate
+	$(RUN) -m repro.bench.cli slo $(SLO_GATE_ARGS) --gate \
+		--json results/slo-gate
+	$(RUN) -m repro.bench.cli compare \
+		benchmarks/baselines/slo.json results/slo-gate/slo.json \
+		--json results/slo-gate
+
+# Re-record the alerting baseline after a deliberate behaviour change.
+refresh-slo-baseline:
+	$(RUN) -m repro.bench.cli slo $(SLO_GATE_ARGS) --gate \
 		--json benchmarks/baselines
 
 artifacts: test bench

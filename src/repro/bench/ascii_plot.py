@@ -15,6 +15,54 @@ from typing import Dict, List, Optional, Sequence
 BAR_WIDTH = 40
 GLYPHS = "#*+o@x%="
 
+#: intensity ramp for sparklines, dimmest to brightest (pure ASCII,
+#: like every other chart here — no terminal-font roulette)
+SPARK_RAMP = " .:-=+*#%@"
+
+
+def sparkline(
+    values: Sequence[Optional[float]],
+    width: int = 60,
+    maximum: Optional[float] = None,
+) -> str:
+    """One-line intensity plot of ``values``, downsampled to ``width``.
+
+    Downsampling takes the *max* within each bucket, so a one-sample
+    spike survives — the whole point of a flight recorder. ``None``
+    entries (gaps) render as spaces. ``maximum`` pins the scale (share
+    it across lanes to make them comparable); by default the line
+    self-scales to its own peak.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if not values:
+        return " " * width
+    buckets: List[Optional[float]] = [None] * width
+    n = len(values)
+    for i, value in enumerate(values):
+        if value is None:
+            continue
+        j = i * width // n
+        if buckets[j] is None or value > buckets[j]:
+            buckets[j] = value
+    peak = maximum
+    if peak is None:
+        peak = max((v for v in buckets if v is not None), default=0.0)
+    cells = []
+    top = len(SPARK_RAMP) - 1
+    for value in buckets:
+        if value is None:
+            cells.append(" ")
+        elif peak <= 0:
+            cells.append(SPARK_RAMP[0])
+        else:
+            level = min(max(int(round(value / peak * top)), 0), top)
+            # a non-zero value never renders as blank
+            if level == 0 and value > 0:
+                level = 1
+            cells.append(SPARK_RAMP[level])
+    return "".join(cells)
+
 
 def _scale(value: float, maximum: float, log: bool) -> float:
     if value <= 0 or maximum <= 0:

@@ -27,8 +27,13 @@ Usage::
                                        [--stores noblsm,noblsm-kv]
                                        [--value-sizes 1024,4096]
                                        [--value-threshold 1024]
+    python -m repro.bench slo           [--scenario serve|soak]
+                                       [--interval-ms 5] [--gate]
+                                       [--latency-slo-us 100]
+                                       [--rate 90000] [--duration 0.3]
     python -m repro.bench compare BASELINE.json CURRENT.json
                                        [--thresholds us_per_op=0.1,...]
+                                       [--json DIR]
 
 ``crash-matrix`` is the durability sweep, not a figure: it exits
 non-zero if any crash point violates a durability invariant, so CI can
@@ -50,11 +55,19 @@ control — once untuned and once fair-scheduled, reporting per-tenant
 and per-shard p50/p99/p99.9, the fairness ratio, and shed/queued
 counts (``repro.serve/1``). ``amplification`` sweeps write/read/space
 amplification over a large-value fillrandom grid, noblsm against the
-key-value-separated noblsm-kv (``repro.amplification/1``). ``compare``
+key-value-separated noblsm-kv (``repro.amplification/1``). ``slo`` runs
+the serve (or soak) pair with continuous telemetry attached — a
+virtual-time sampler scraping counters, gauges, windowed percentiles,
+and health probes at a fixed interval, with latency/availability SLO
+monitors firing multi-window burn-rate alerts — and prints the ASCII
+flight-recorder dashboard; ``--gate`` exits non-zero unless the untuned
+run fires a fast-burn alert while the tuned twin fires none
+(``repro.slo/1`` plus per-variant ``repro.timeseries/1``). ``compare``
 diffs two ``repro.bench/1`` / ``repro.speed/1`` / ``repro.soak/1`` /
-``repro.serve/1`` / ``repro.amplification/1`` JSONs and exits non-zero
-on a regression — the CI perf gate. ``all`` regenerates the figures
-only.
+``repro.serve/1`` / ``repro.amplification/1`` / ``repro.slo/1`` JSONs
+and exits non-zero on a regression — the CI perf gate; ``--json``
+additionally writes the machine-readable ``repro.compare/1`` report.
+``all`` regenerates the figures only.
 """
 
 from __future__ import annotations
@@ -541,12 +554,92 @@ def _run_amplification(args) -> int:
     return 0
 
 
+def _run_slo(args) -> int:
+    """The ``slo`` target: telemetry-on pair, dashboard, alert gate."""
+    from repro.bench.slo import (
+        SloConfig,
+        check_discrimination,
+        render_slo,
+        run_slo,
+        write_slo_json,
+        write_timeseries_json,
+    )
+    from repro.bench.soak import SoakConfig
+    from repro.serve.bench import ServeConfig
+
+    store = args.stores.split(",")[0] if args.stores else "noblsm"
+    scale = args.scale or 2000.0
+    seed = args.seed if args.seed else 1234
+    config = SloConfig(
+        scenario=args.scenario,
+        interval_ms=args.interval_ms,
+        latency_threshold_us=args.latency_slo_us,
+        serve=ServeConfig(
+            store=store,
+            num_shards=args.shards,
+            num_tenants=args.tenants,
+            scale=scale,
+            seed=seed,
+            arrival_rate=args.rate if args.rate is not None else 90_000.0,
+            duration_s=args.duration if args.duration is not None else 0.3,
+            window_ms=args.window_ms,
+            diurnal_amplitude=args.amplitude,
+            spread=args.spread,
+            max_queue=args.max_queue,
+        ),
+        soak=SoakConfig(
+            store=store,
+            scale=scale,
+            seed=seed,
+            arrival_rate=args.rate if args.rate is not None else 40_000.0,
+            duration_s=args.duration if args.duration is not None else 0.75,
+            window_ms=args.window_ms,
+        ),
+    )
+    results = run_slo(config)
+    rendered = render_slo(results)
+    print(rendered)
+    meta = {
+        "target": "slo",
+        "scenario": config.scenario,
+        "store": store,
+        "scale": scale,
+        "seed": seed,
+        "interval_ms": args.interval_ms,
+        "latency_slo_us": args.latency_slo_us,
+        "window_ms": args.window_ms,
+    }
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+        path = os.path.join(args.json, "slo.json")
+        write_slo_json(path, results, meta)
+        written = [path]
+        for result in results:
+            ts_path = os.path.join(
+                args.json, f"timeseries-{result.workload}.json"
+            )
+            write_timeseries_json(
+                ts_path, result, dict(meta, workload=result.workload)
+            )
+            written.append(ts_path)
+        dashboard = os.path.join(args.json, "slo-dashboard.txt")
+        with open(dashboard, "w") as fh:
+            fh.write(rendered + "\n")
+        written.append(dashboard)
+        print(f"\nwrote {', '.join(written)}")
+    if args.gate:
+        problems = check_discrimination(results)
+        return 0 if not problems else 1
+    return 0
+
+
 def _run_compare(args) -> int:
     """The ``compare`` target: perf gate over two repro.bench/1 files."""
     from repro.bench.compare import (
         compare_documents,
         parse_thresholds,
         render_compare,
+        report_payload,
     )
 
     if len(args.paths) != 2:
@@ -564,6 +657,13 @@ def _run_compare(args) -> int:
         base_doc, cur_doc, thresholds=parse_thresholds(args.thresholds)
     )
     print(render_compare(report))
+    if args.json:
+        os.makedirs(args.json, exist_ok=True)
+        path = os.path.join(args.json, "compare.json")
+        with open(path, "w") as fh:
+            json.dump(report_payload(report), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {path}")
     return 0 if report.passed else 1
 
 
@@ -576,7 +676,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "target",
         choices=ALL_TARGETS
         + ["all", "crash-matrix", "parallelism", "fillrandom", "speed",
-           "soak", "serve", "amplification", "compare"],
+           "soak", "serve", "amplification", "slo", "compare"],
     )
     parser.add_argument(
         "paths",
@@ -750,6 +850,33 @@ def main(argv: Optional[List[str]] = None) -> int:
              "to *-kv stores only (default 1024)",
     )
     parser.add_argument(
+        "--scenario",
+        choices=["serve", "soak"],
+        default="serve",
+        help="slo: which benchmark pair to fly the recorder on "
+             "(default serve)",
+    )
+    parser.add_argument(
+        "--interval-ms",
+        type=float,
+        default=5.0,
+        help="slo: virtual sampling interval in ms (default 5)",
+    )
+    parser.add_argument(
+        "--latency-slo-us",
+        type=float,
+        default=100.0,
+        help="slo: latency objective threshold in us — keep it on a "
+             "1-2-5 histogram bucket bound for exact good/bad counting "
+             "(default 100)",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="slo: exit non-zero unless the untuned run fires a "
+             "fast-burn alert and the tuned run fires none",
+    )
+    parser.add_argument(
         "--thresholds",
         type=str,
         default=None,
@@ -771,6 +898,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve(args)
     if args.target == "amplification":
         return _run_amplification(args)
+    if args.target == "slo":
+        return _run_slo(args)
     if args.target == "compare":
         return _run_compare(args)
     stores = args.stores.split(",") if args.stores else None

@@ -28,6 +28,10 @@ SPEED_SCHEMA = "repro.speed/1"
 SOAK_SCHEMA = "repro.soak/1"
 SERVE_SCHEMA = "repro.serve/1"
 AMPLIFICATION_SCHEMA = "repro.amplification/1"
+SLO_SCHEMA = "repro.slo/1"
+
+#: machine-readable report schema emitted by ``compare --json``
+COMPARE_SCHEMA = "repro.compare/1"
 
 
 @dataclass(frozen=True)
@@ -114,6 +118,19 @@ AMPLIFICATION_METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec("wa_compaction", 0.10, 0.05),
     MetricSpec("ra_point", 0.25, 0.25),
     MetricSpec("space_amp", 0.10, 0.05),
+)
+
+#: the ``repro.slo/1`` alerting gate (all lower-is-better, fully
+#: deterministic). Alert *counts* are gated exactly (threshold 0 with a
+#: 0.5 floor: any extra alert on a variant that held its SLOs fails);
+#: ``bad_events`` (summed SLO violations) and ``max_burn`` (worst burn
+#: rate any monitor saw) absorb moderate wobble because deliberate
+#: workload changes shift them without changing the alert story.
+SLO_METRICS: Tuple[MetricSpec, ...] = (
+    MetricSpec("alerts_total", 0.0, 0.5),
+    MetricSpec("fast_burn_alerts", 0.0, 0.5),
+    MetricSpec("bad_events", 0.25, 20.0),
+    MetricSpec("max_burn", 0.25, 1.0),
 )
 
 #: row-identity fields; extras are included when present
@@ -206,6 +223,7 @@ def _check_schema(doc: Dict[str, object], which: str) -> str:
         SOAK_SCHEMA,
         SERVE_SCHEMA,
         AMPLIFICATION_SCHEMA,
+        SLO_SCHEMA,
     )
     if schema not in known:
         raise ValueError(
@@ -244,6 +262,8 @@ def compare_documents(
         metric_set = SERVE_METRICS
     elif base_schema == AMPLIFICATION_SCHEMA:
         metric_set = AMPLIFICATION_METRICS
+    elif base_schema == SLO_SCHEMA:
+        metric_set = SLO_METRICS
     else:
         metric_set = DEFAULT_METRICS
     metrics = [
@@ -293,6 +313,42 @@ def _key_label(key: RowKey) -> str:
     if channels is not None or threads is not None:
         label += f" ch{channels or 1}xt{threads or 1}"
     return label
+
+
+def report_payload(report: CompareReport) -> Dict[str, object]:
+    """The machine-readable ``repro.compare/1`` document for a report.
+
+    Everything :func:`render_compare` prints, as data: per-delta rows
+    with base/current/ratio/limit, the missing/new row keys, and the
+    verdict — so CI can annotate a failed gate without scraping text.
+    """
+    return {
+        "schema": COMPARE_SCHEMA,
+        "base_meta": dict(report.base_meta),
+        "cur_meta": dict(report.cur_meta),
+        "passed": report.passed,
+        "regression_count": len(report.regressions),
+        "missing_rows": [list(k) for k in report.missing_rows],
+        "new_rows": [list(k) for k in report.new_rows],
+        "deltas": [
+            {
+                "row": _key_label(d.key),
+                "key": list(d.key),
+                "metric": d.metric,
+                "base": d.base,
+                "current": d.current,
+                "ratio": (
+                    round(d.ratio, 6)
+                    if d.ratio != float("inf")
+                    else None
+                ),
+                "threshold": d.threshold,
+                "higher_is_better": d.higher_is_better,
+                "regressed": d.regressed,
+            }
+            for d in report.deltas
+        ],
+    }
 
 
 def render_compare(report: CompareReport) -> str:

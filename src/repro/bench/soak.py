@@ -233,8 +233,17 @@ class SoakResult:
         return data
 
 
-def run_soak(config: SoakConfig) -> SoakResult:
-    """Run one open-loop soak; returns its windowed stability record."""
+def run_soak(config: SoakConfig, telemetry=None) -> SoakResult:
+    """Run one open-loop soak; returns its windowed stability record.
+
+    ``telemetry`` is an optional continuous-telemetry rig (duck-typed;
+    see :class:`repro.bench.slo.Telemetry`): ``on_stack(stack, db)``
+    points its sampler at the soak stack's own registry, and
+    ``advance(at)`` is driven to every arrival (relative to the run
+    start, like the latency windows) so ticks fire deterministically
+    between requests. The rig's clock is its own; the soak's virtual
+    timeline and results are identical with or without it.
+    """
     scaled = ScaledConfig(
         scale=config.scale,
         num_ops=config.expected_ops,
@@ -252,6 +261,8 @@ def run_soak(config: SoakConfig) -> SoakResult:
     options.compaction_rate_fair = config.compaction_rate_fair
     options.dynamic_slowdown = config.dynamic_slowdown
     db = make_store(config.store, stack, "db", options=options)
+    if telemetry is not None:
+        telemetry.on_stack(stack, db)
 
     start = stack.now
     window_ns = config.window_ns
@@ -293,11 +304,15 @@ def run_soak(config: SoakConfig) -> SoakResult:
         arrival += max(int(rng.expovariate(config.arrival_rate) * NS_PER_SEC), 1)
         if arrival - start >= horizon:
             break
+        if telemetry is not None:
+            telemetry.advance(arrival - start)
         key = make_key(rng.randrange(keyspace), config.key_size)
         done = db.put(key, values.next(), at=arrival)
         latency.record(arrival - start, done - arrival)
         last_done = done
         ops += 1
+    if telemetry is not None:
+        telemetry.finish(horizon)
     wall_seconds = time.perf_counter() - wall_start
     stack.obs.remove_span_listener(on_span)
 

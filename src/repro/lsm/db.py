@@ -75,6 +75,10 @@ PRESSURE_OK = "ok"
 PRESSURE_SLOWDOWN = "slowdown"
 PRESSURE_STOP = "stop"
 
+#: numeric encoding of the pressure states for the ``db.write_pressure``
+#: gauge (monotone in severity, so a sampled series is readable)
+PRESSURE_CODES = {PRESSURE_OK: 0, PRESSURE_SLOWDOWN: 1, PRESSURE_STOP: 2}
+
 #: (ready_time, work_fn) — a pulled background job
 BackgroundJob = Tuple[int, Callable[[int], int]]
 
@@ -241,6 +245,8 @@ class DB:
         self._imm_trace_count = 0
         self._wal_bytes_total = 0
         self._wal_records_total = 0
+        #: last write_pressure() state, for the transition counters
+        self._last_pressure = PRESSURE_OK
         if self._observe:
             self.obs.register_source(f"db.{dbname}", self._obs_snapshot)
             self._put_hist = self.obs.histogram("db.put_ns")
@@ -248,6 +254,10 @@ class DB:
             self._stall_slowdown = self.obs.counter("db.stall.l0_slowdown_ns")
             self._stall_memtable = self.obs.counter("db.stall.memtable_wait_ns")
             self._stall_l0_stop = self.obs.counter("db.stall.l0_stop_ns")
+            self._pressure_gauge = self.obs.gauge("db.write_pressure")
+            self._pressure_transitions = self.obs.counter(
+                "db.write_pressure.transitions"
+            )
         self.table_cache = TableCache(
             self.fs, dbname, block_cache_bytes=self.options.block_cache_bytes
         )
@@ -447,13 +457,45 @@ class DB:
         """
         l0_count = self._l0_live_count()
         if l0_count >= self.options.l0_stop_writes_trigger:
-            return PRESSURE_STOP
-        if (
+            state = PRESSURE_STOP
+        elif (
             l0_count >= self.options.l0_slowdown_writes_trigger
             or self._pending_imm is not None
         ):
-            return PRESSURE_SLOWDOWN
-        return PRESSURE_OK
+            state = PRESSURE_SLOWDOWN
+        else:
+            state = PRESSURE_OK
+        if self._observe:
+            self._pressure_gauge.set(PRESSURE_CODES[state])
+            if state != self._last_pressure:
+                self._pressure_transitions.inc()
+                self.obs.counter(f"db.write_pressure.enter_{state}").inc()
+        self._last_pressure = state
+        return state
+
+    def compaction_debt_bytes(self) -> int:
+        """Bytes of compaction work currently owed by the tree.
+
+        The health signal behind the pressure states, as a magnitude:
+        L0 owes its whole live pile once the file count reaches the
+        compaction trigger (all of it must move to L1 before the
+        triggers relax), and every deeper level owes whatever it holds
+        beyond its target size — the same quantities
+        :meth:`~repro.lsm.version.Version.level_score` scores, in bytes
+        so a sampled series is comparable across levels.
+        """
+        version = self.versions.current
+        debt = 0
+        live_l0 = [f for f in version.files[0] if not f.shadow]
+        if len(live_l0) >= self.options.l0_compaction_trigger:
+            debt += sum(f.file_size for f in live_l0)
+        for level in range(1, self.options.num_levels - 1):
+            over = version.level_bytes(level) - int(
+                self.options.max_bytes_for_level(level)
+            )
+            if over > 0:
+                debt += over
+        return debt
 
     def _pick_background_work(
         self, horizon: Optional[int] = None

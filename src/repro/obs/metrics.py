@@ -142,6 +142,22 @@ class Histogram:
             cumulative += bucket_count
         return float(self.max)
 
+    def count_over(self, bound: int) -> int:
+        """Recorded values strictly greater than ``bound``.
+
+        Exact when ``bound`` is one of the bucket bounds (buckets are
+        inclusive upper bounds, so the buckets above it hold precisely
+        the values ``> bound``) — and therefore a monotone integer as
+        the histogram grows, which is what SLO good/bad accounting
+        needs. A non-bound threshold counts the whole enclosing bucket
+        as over (the threshold is effectively rounded down to the
+        bucket's lower bound).
+        """
+        index = bisect.bisect_left(self.bounds, bound)
+        if index < len(self.bounds) and self.bounds[index] == bound:
+            index += 1
+        return sum(self.counts[index:])
+
     @property
     def p50(self) -> float:
         return self.percentile(50)
@@ -410,6 +426,17 @@ class MetricRegistry:
 
     def register_source(self, name: str, source: SnapshotSource) -> None:
         self._sources[name] = source
+
+    # name-sorted live views, for the time-series sampler: scraping per
+    # tick must not build the full nested ``snapshot()`` dict
+    def iter_counters(self) -> List[Tuple[str, Counter]]:
+        return sorted(self._counters.items())
+
+    def iter_gauges(self) -> List[Tuple[str, Gauge]]:
+        return sorted(self._gauges.items())
+
+    def iter_windowed(self) -> List[Tuple[str, WindowedHistogram]]:
+        return sorted(self._windowed.items())
 
     # ------------------------------------------------------------------
     # spans

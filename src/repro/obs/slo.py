@@ -1,0 +1,314 @@
+"""Declarative SLOs, error budgets, and multi-window burn-rate alerts.
+
+The serving north star needs the SRE vocabulary, evaluated in virtual
+time: an :class:`SLOSpec` states an objective ("99.9% of requests under
+100 us", "99.9% of requests admitted"), an :class:`SLOMonitor` accounts
+good/bad events against the error budget, and :class:`BurnRateRule`\\ s
+fire alerts the way the Google SRE workbook prescribes — **multi-window
+multi-burn-rate**: an alert fires only when *both* a long window and a
+short window burn the budget faster than the rule's threshold (the long
+window proves the problem is real, the short window proves it is still
+happening), and resolves once the short window drops back under.
+
+Burn rate is ``(bad / total) / (1 - target)``: 1.0 means the error
+budget is consumed exactly at the rate the SLO allows over its period;
+14.4 (the classic fast-burn threshold) means a 30-day budget would be
+gone in two days. Our horizons are virtual milliseconds, not months, so
+:func:`default_burn_rules` scales the canonical window pairs to the sim
+horizon instead of hardcoding hours.
+
+Good/bad events are pulled, not pushed: a source object's ``take(at)``
+returns the *delta* of (good, bad) since the last pull, so monitors
+piggyback on instruments the hot path already records —
+:class:`CounterRatioSource` reads two counters (served vs shed for the
+availability objective), :class:`LatencyThresholdSource` reads a
+windowed histogram's exact over-threshold bucket counts
+(:meth:`~repro.obs.metrics.Histogram.count_over`, exact at bucket
+bounds, so good/bad stay monotone integers). Nothing here allocates
+when telemetry is off because nothing here is constructed then.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.obs.metrics import Counter, WindowedHistogram
+
+#: objective kinds
+LATENCY = "latency"
+AVAILABILITY = "availability"
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One objective: a target fraction of events must be good.
+
+    ``threshold_ns`` only applies to latency objectives (an event is bad
+    when its latency exceeds the threshold); availability objectives
+    count shed/refused events as bad directly.
+    """
+
+    name: str
+    kind: str  # LATENCY | AVAILABILITY
+    target: float  # e.g. 0.999
+    threshold_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind not in (LATENCY, AVAILABILITY):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == LATENCY and self.threshold_ns <= 0:
+            raise ValueError("latency SLO needs a positive threshold_ns")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "threshold_ns": self.threshold_ns,
+        }
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One alert rule: fire when both windows burn >= the threshold."""
+
+    name: str
+    long_window_ns: int
+    short_window_ns: int
+    burn_threshold: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.short_window_ns <= self.long_window_ns:
+            raise ValueError(
+                f"need 0 < short <= long, got {self.short_window_ns} / "
+                f"{self.long_window_ns}"
+            )
+        if self.burn_threshold <= 0:
+            raise ValueError("burn_threshold must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "long_window_ns": self.long_window_ns,
+            "short_window_ns": self.short_window_ns,
+            "burn_threshold": self.burn_threshold,
+        }
+
+
+def default_burn_rules(horizon_ns: int) -> Tuple[BurnRateRule, ...]:
+    """The SRE-workbook fast/slow pair, scaled to the sim horizon.
+
+    The canonical 30-day SLO uses (1h long, 5m short, 14.4x) for the
+    fast page and (6h long, 30m short, 6x) for the slow one — ratios of
+    roughly (period/720, period/8640) and (period/120, period/1440).
+    A sim horizon is milliseconds, so we keep the *shape* (long window
+    ~12x the short one, fast rule an order of magnitude shorter than the
+    slow) at proportions that leave several samples per short window:
+    fast = (horizon/10, horizon/40, 14.4), slow = (horizon/3, horizon/10,
+    6.0).
+    """
+    if horizon_ns <= 0:
+        raise ValueError(f"horizon_ns must be positive, got {horizon_ns}")
+    return (
+        BurnRateRule(
+            "fast-burn",
+            long_window_ns=max(horizon_ns // 10, 1),
+            short_window_ns=max(horizon_ns // 40, 1),
+            burn_threshold=14.4,
+        ),
+        BurnRateRule(
+            "slow-burn",
+            long_window_ns=max(horizon_ns // 3, 1),
+            short_window_ns=max(horizon_ns // 10, 1),
+            burn_threshold=6.0,
+        ),
+    )
+
+
+class CounterRatioSource:
+    """Good/bad deltas from two monotone counters (served vs shed)."""
+
+    __slots__ = ("good", "bad", "_last_good", "_last_bad")
+
+    def __init__(self, good: Counter, bad: Counter) -> None:
+        self.good = good
+        self.bad = bad
+        self._last_good = 0
+        self._last_bad = 0
+
+    def take(self, at: int) -> Tuple[int, int]:
+        good, bad = self.good.value, self.bad.value
+        delta = (good - self._last_good, bad - self._last_bad)
+        self._last_good, self._last_bad = good, bad
+        return delta
+
+
+class LatencyThresholdSource:
+    """Good/bad deltas from a windowed histogram's run-wide totals.
+
+    Bad is the exact count of recorded values over ``threshold_ns``
+    (:meth:`~repro.obs.metrics.Histogram.count_over` — pick a 1-2-5
+    bucket bound, e.g. 50_000 or 100_000 ns, for exactness).
+    """
+
+    __slots__ = ("hist", "threshold_ns", "_last_total", "_last_over")
+
+    def __init__(self, hist: WindowedHistogram, threshold_ns: int) -> None:
+        self.hist = hist
+        self.threshold_ns = threshold_ns
+        self._last_total = 0
+        self._last_over = 0
+
+    def take(self, at: int) -> Tuple[int, int]:
+        total = self.hist.total.count
+        over = self.hist.total.count_over(self.threshold_ns)
+        delta = (
+            (total - self._last_total) - (over - self._last_over),
+            over - self._last_over,
+        )
+        self._last_total, self._last_over = total, over
+        return delta
+
+
+@dataclass
+class Alert:
+    """One fired alert; ``resolved_at_ns`` stays None while active."""
+
+    slo: str
+    rule: str
+    fired_at_ns: int
+    burn_long: float
+    burn_short: float
+    peak_burn: float
+    resolved_at_ns: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "slo": self.slo,
+            "rule": self.rule,
+            "fired_at_ns": self.fired_at_ns,
+            "resolved_at_ns": self.resolved_at_ns,
+            "burn_long": round(self.burn_long, 3),
+            "burn_short": round(self.burn_short, 3),
+            "peak_burn": round(self.peak_burn, 3),
+        }
+
+
+class SLOMonitor:
+    """Accounts one SLO's good/bad stream and evaluates its alert rules.
+
+    Call :meth:`observe` at every sampler tick (or directly): it pulls
+    the source's delta, appends a ``(at, good, bad)`` sample, trims
+    samples older than the longest rule window, and fires/resolves
+    alerts. ``last_burn`` is the first rule's long-window burn after the
+    latest tick — the number the dashboard lane plots.
+    """
+
+    def __init__(
+        self,
+        spec: SLOSpec,
+        source,
+        rules: Tuple[BurnRateRule, ...],
+    ) -> None:
+        if not rules:
+            raise ValueError("SLOMonitor needs at least one BurnRateRule")
+        self.spec = spec
+        self.source = source
+        self.rules = tuple(rules)
+        self._max_window = max(r.long_window_ns for r in self.rules)
+        self.samples: Deque[Tuple[int, int, int]] = deque()
+        self.good_total = 0
+        self.bad_total = 0
+        self.alerts: List[Alert] = []
+        self._active: dict = {}
+        self.last_burn = 0.0
+        self.peak_burn = 0.0
+
+    # ------------------------------------------------------------------
+
+    def observe(self, at: int) -> None:
+        good, bad = self.source.take(at)
+        self.good_total += good
+        self.bad_total += bad
+        self.samples.append((at, good, bad))
+        cutoff = at - self._max_window
+        while self.samples and self.samples[0][0] <= cutoff:
+            self.samples.popleft()
+        self._evaluate(at)
+
+    def burn_rate(self, at: int, window_ns: int) -> float:
+        """Budget-burn multiple over the trailing window ending at ``at``."""
+        good = bad = 0
+        cutoff = at - window_ns
+        for t, g, b in reversed(self.samples):
+            if t <= cutoff:
+                break
+            good += g
+            bad += b
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - self.spec.target)
+
+    def _evaluate(self, at: int) -> None:
+        for index, rule in enumerate(self.rules):
+            burn_long = self.burn_rate(at, rule.long_window_ns)
+            burn_short = self.burn_rate(at, rule.short_window_ns)
+            if index == 0:
+                self.last_burn = burn_long
+                if burn_long > self.peak_burn:
+                    self.peak_burn = burn_long
+            active = self._active.get(rule.name)
+            if (
+                burn_long >= rule.burn_threshold
+                and burn_short >= rule.burn_threshold
+            ):
+                if active is None:
+                    alert = Alert(
+                        slo=self.spec.name,
+                        rule=rule.name,
+                        fired_at_ns=at,
+                        burn_long=burn_long,
+                        burn_short=burn_short,
+                        peak_burn=burn_long,
+                    )
+                    self._active[rule.name] = alert
+                    self.alerts.append(alert)
+                elif burn_long > active.peak_burn:
+                    active.peak_burn = burn_long
+            elif active is not None and burn_short < rule.burn_threshold:
+                active.resolved_at_ns = at
+                del self._active[rule.name]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return self.good_total + self.bad_total
+
+    @property
+    def budget_consumed(self) -> float:
+        """Fraction of the error budget spent (1.0 = SLO exactly missed)."""
+        allowed = (1.0 - self.spec.target) * self.total
+        if allowed <= 0.0:
+            return 0.0
+        return self.bad_total / allowed
+
+    def alerts_for(self, rule_name: str) -> List[Alert]:
+        return [a for a in self.alerts if a.rule == rule_name]
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict: spec, budget, rules, alerts."""
+        return {
+            "spec": self.spec.to_dict(),
+            "rules": [r.to_dict() for r in self.rules],
+            "good": self.good_total,
+            "bad": self.bad_total,
+            "budget_consumed": round(self.budget_consumed, 4),
+            "peak_burn": round(self.peak_burn, 3),
+            "alerts": [a.to_dict() for a in self.alerts],
+        }

@@ -1,0 +1,259 @@
+"""Continuous telemetry: a virtual-time sampler over a MetricRegistry.
+
+Every observability surface before this module was end-of-run — the
+``repro.obs/1`` snapshot, the Chrome trace, the bench documents — so a
+mid-run stall storm is invisible until the final percentiles wash it
+out. "On Performance Stability in LSM-based Storage Systems" (PAPERS.md)
+argues LSM behaviour must be judged *over time*; this module is that
+axis: a :class:`TimeSeriesSampler` scheduled on a sim
+:class:`~repro.sim.events.EventQueue` scrapes a
+:class:`~repro.obs.metrics.MetricRegistry` at a fixed virtual interval
+and appends into ring-buffered :class:`Series`.
+
+What one tick records, per instrument kind:
+
+- **counters** — the delta since the previous tick (a rate series, one
+  point per tick, named ``<counter>.delta``);
+- **gauges** — the current level;
+- **windowed histograms** — for every window that *closed* since the
+  previous tick: the window's op count and its percentiles
+  (``<name>.ops``, ``<name>.p50``, ``<name>.p999``), timestamped at the
+  window's end. Windows are consumed through a per-series cursor, so
+  each is emitted exactly once;
+- **probes** — caller-registered ``fn(at)`` callables for levels that
+  live outside the registry (admission queue depth, rate-limiter
+  tokens, compaction debt). A probe returning ``None`` skips the tick,
+  so sparse signals cost nothing;
+- **SLO monitors** — attached :class:`~repro.obs.slo.SLOMonitor`
+  objects observe the same tick and append their current burn rate as
+  ``slo.<name>.burn``.
+
+Everything is virtual-time deterministic: the sampler never touches the
+clock it is scheduled on (ticks are read-only), so enabling sampling
+changes *no* simulated timing — the same discipline as the PR 1
+registry. When sampling is off nothing here is ever constructed, which
+keeps the disabled path allocation-free.
+
+Exports a versioned ``repro.timeseries/1`` document.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricRegistry
+
+TIMESERIES_SCHEMA = "repro.timeseries/1"
+
+#: fn(at) -> value or None; a caller-owned level read at sample time
+Probe = Callable[[int], Optional[float]]
+
+
+def _percentile_label(q: float) -> str:
+    """``50 -> "p50"``, ``99.9 -> "p999"`` (the repo's field idiom)."""
+    text = f"{q:g}".replace(".", "")
+    return f"p{text}"
+
+
+class Series:
+    """One named ring-buffered time series of ``(virtual_ns, value)``.
+
+    Bounded so an arbitrarily long soak cannot grow host memory without
+    bound: once ``capacity`` points are held the oldest drop and
+    ``dropped`` counts them — the export says so rather than silently
+    truncating.
+    """
+
+    __slots__ = ("name", "kind", "capacity", "times", "values", "dropped")
+
+    def __init__(self, name: str, kind: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.name = name
+        self.kind = kind  # "counter" | "gauge" | "window" | "probe" | "slo"
+        self.capacity = capacity
+        self.times: Deque[int] = deque(maxlen=capacity)
+        self.values: Deque[float] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def append(self, at: int, value: float) -> None:
+        if len(self.times) == self.capacity:
+            self.dropped += 1
+        self.times.append(at)
+        self.values.append(value)
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def points(self) -> List[Tuple[int, float]]:
+        return list(zip(self.times, self.values))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "dropped": self.dropped,
+            "points": [[t, v] for t, v in zip(self.times, self.values)],
+        }
+
+    def __repr__(self) -> str:
+        return f"Series({self.name!r}, {self.kind}, n={len(self.times)})"
+
+
+class TimeSeriesSampler:
+    """Scrapes a registry at a fixed virtual interval into :class:`Series`.
+
+    Drive it either by :meth:`attach`-ing to an
+    :class:`~repro.sim.events.EventQueue` (the tick re-arms itself until
+    :meth:`stop`) or by calling :meth:`sample` directly. Ticks are
+    idempotent per timestamp — :meth:`finish` may land on an already
+    sampled instant without double-counting deltas.
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        interval_ns: int,
+        capacity: int = 4096,
+        percentiles: Sequence[float] = (50.0, 99.9),
+    ) -> None:
+        if not registry.enabled:
+            raise ValueError(
+                "TimeSeriesSampler needs an enabled MetricRegistry; the "
+                "disabled path must never construct a sampler"
+            )
+        if interval_ns <= 0:
+            raise ValueError(f"interval_ns must be positive, got {interval_ns}")
+        self.registry = registry
+        self.interval_ns = int(interval_ns)
+        self.capacity = capacity
+        self.percentiles = tuple(percentiles)
+        self._labels = tuple(_percentile_label(q) for q in self.percentiles)
+        self.series: Dict[str, Series] = {}
+        self.samples = 0
+        self.last_sample_ns = -1
+        self._counter_last: Dict[str, int] = {}
+        self._window_cursor: Dict[str, int] = {}
+        self._probes: List[Tuple[str, Probe]] = []
+        self.monitors: List[object] = []  # SLOMonitor ducks
+        self._stopped = False
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def add_probe(self, name: str, fn: Probe) -> None:
+        """Sample ``fn(at)`` each tick into a ``probe`` series."""
+        self._probes.append((name, fn))
+
+    def add_monitor(self, monitor) -> None:
+        """Evaluate an :class:`~repro.obs.slo.SLOMonitor` each tick."""
+        self.monitors.append(monitor)
+
+    def attach(self, events, first_at: Optional[int] = None) -> None:
+        """Schedule the re-arming tick on ``events``.
+
+        The timer keeps re-arming until :meth:`stop` (or :meth:`finish`)
+        — safe against ``StorageStack.settle``-style drains because
+        those check quiescence before stepping, the same contract the
+        journal commit timer relies on.
+        """
+        start = (
+            first_at
+            if first_at is not None
+            else events.clock.now + self.interval_ns
+        )
+
+        def tick(at: int) -> None:
+            if self._stopped:
+                return
+            self.sample(at)
+            self._pending = events.schedule(at + self.interval_ns, tick)
+
+        self._pending = events.schedule(start, tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def finish(self, at: int) -> None:
+        """Take one final sample at ``at`` and disarm the timer."""
+        self.sample(at)
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def _series(self, name: str, kind: str) -> Series:
+        cell = self.series.get(name)
+        if cell is None:
+            cell = self.series[name] = Series(name, kind, self.capacity)
+        return cell
+
+    def sample(self, at: int) -> None:
+        """One scrape at virtual time ``at`` (no-op if already sampled)."""
+        if at <= self.last_sample_ns:
+            return
+        self.last_sample_ns = at
+        self.samples += 1
+        registry = self.registry
+        for name, counter in registry.iter_counters():
+            value = counter.value
+            delta = value - self._counter_last.get(name, 0)
+            self._counter_last[name] = value
+            self._series(f"{name}.delta", "counter").append(at, delta)
+        for name, gauge in registry.iter_gauges():
+            self._series(name, "gauge").append(at, gauge.value)
+        for name, windowed in registry.iter_windowed():
+            closed = at // windowed.window_ns
+            cursor = self._window_cursor.get(name, 0)
+            if closed <= cursor:
+                continue
+            for index in sorted(windowed.windows):
+                if index < cursor or index >= closed:
+                    continue
+                hist = windowed.windows[index]
+                end = (index + 1) * windowed.window_ns
+                self._series(f"{name}.ops", "window").append(end, hist.count)
+                for q, label in zip(self.percentiles, self._labels):
+                    self._series(f"{name}.{label}", "window").append(
+                        end, round(hist.percentile(q), 3)
+                    )
+            self._window_cursor[name] = closed
+        for name, fn in self._probes:
+            value = fn(at)
+            if value is not None:
+                self._series(name, "probe").append(at, value)
+        for monitor in self.monitors:
+            monitor.observe(at)
+            self._series(f"slo.{monitor.spec.name}.burn", "slo").append(
+                at, round(monitor.last_burn, 3)
+            )
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def document(
+        self, meta: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """The versioned ``repro.timeseries/1`` document."""
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "meta": dict(meta) if meta else {},
+            "interval_ns": self.interval_ns,
+            "capacity": self.capacity,
+            "samples": self.samples,
+            "last_sample_ns": self.last_sample_ns,
+            "series": {
+                name: self.series[name].to_dict()
+                for name in sorted(self.series)
+            },
+        }

@@ -98,6 +98,23 @@ class AdmissionController:
             pending.popleft()
         return len(pending)
 
+    def peek_depth(self, at: int) -> int:
+        """Read-only :meth:`depth`: count without expiring entries.
+
+        Observability (the admission snapshot source, sampler probes)
+        must use this one — ``depth`` pops expired completions, and a
+        probe timestamped *after* the next arrival would expire entries
+        that arrival's ``decide`` should still have counted, turning a
+        shed into a queue and changing the run.
+        """
+        pending = self._pending
+        count = len(pending)
+        for done in pending:
+            if done > at:
+                break
+            count -= 1
+        return count
+
     def bound(self, pressure: str) -> int:
         """The admitted queue depth under the given pressure state."""
         if pressure == PRESSURE_STOP:

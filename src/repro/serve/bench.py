@@ -292,9 +292,25 @@ def _percentiles(hist: WindowedHistogram) -> Dict[str, float]:
     }
 
 
-def run_serve(config: ServeConfig) -> ServeResult:
-    """Run one serve benchmark; returns its multi-tenant record."""
-    cluster = ServeCluster(config.cluster_config())
+def run_serve(config: ServeConfig, telemetry=None) -> ServeResult:
+    """Run one serve benchmark; returns its multi-tenant record.
+
+    ``telemetry`` is an optional continuous-telemetry rig (duck-typed;
+    see :class:`repro.bench.slo.Telemetry`): its ``registry`` becomes
+    the cluster-level registry, ``on_cluster(cluster)`` wires probes
+    once shards exist, and ``advance(at)`` is driven to every open-loop
+    arrival so the sampler ticks fire at deterministic virtual times
+    *between* requests. The rig runs on its own event queue and never
+    touches shard stacks, so results are identical with or without it.
+    """
+    if telemetry is not None and config.mode != "open":
+        raise ValueError("continuous telemetry needs the open-loop mode")
+    cluster = ServeCluster(
+        config.cluster_config(),
+        obs=telemetry.registry if telemetry is not None else None,
+    )
+    if telemetry is not None:
+        telemetry.on_cluster(cluster)
     offered = 0
     last_done = 0
     wall_start = time.perf_counter()
@@ -310,11 +326,15 @@ def run_serve(config: ServeConfig) -> ServeResult:
     elif config.mode == "open":
         for request in open_loop(config.load_config()):
             offered += 1
+            if telemetry is not None:
+                telemetry.advance(request.arrival)
             done = cluster.serve(request)
             if done is not None:
                 last_done = max(last_done, done)
     else:
         raise ValueError(f"unknown mode {config.mode!r}")
+    if telemetry is not None:
+        telemetry.finish(max(int(config.duration_s * 1e9), last_done))
     wall_seconds = time.perf_counter() - wall_start
 
     result = ServeResult(

@@ -35,7 +35,7 @@ from repro.baselines.registry import make_store
 from repro.bench.harness import ScaledConfig
 from repro.lsm.db import DB
 from repro.lsm.options import Options
-from repro.obs.metrics import WindowedHistogram
+from repro.obs.metrics import NULL_REGISTRY, MetricRegistry, WindowedHistogram
 from repro.serve.admission import QUEUE, SHED, AdmissionController
 from repro.serve.loadgen import OP_GET, OP_PUT, Request
 from repro.serve.router import Router
@@ -128,10 +128,22 @@ class ClusterConfig:
 
 
 class ServeCluster:
-    """N shards, one router, per-tenant accounting."""
+    """N shards, one router, per-tenant accounting.
 
-    def __init__(self, config: ClusterConfig) -> None:
+    ``obs`` is an optional *cluster-level* registry (distinct from each
+    shard's own stack registry) for front-door telemetry: offered /
+    served / queued / shed counters and the cluster latency windowed
+    histogram live there so a :class:`~repro.obs.timeseries
+    .TimeSeriesSampler` can scrape them continuously. Without it the
+    counters are the shared null singletons and nothing changes — the
+    disabled path stays allocation-free and byte-identical.
+    """
+
+    def __init__(
+        self, config: ClusterConfig, obs: Optional[MetricRegistry] = None
+    ) -> None:
         self.config = config
+        self.obs = obs if obs is not None else NULL_REGISTRY
         self.router = Router(
             config.num_shards, seed=config.seed, spread=config.spread
         )
@@ -153,13 +165,34 @@ class ServeCluster:
                 options=config.build_options(scaled),
             )
             admission = AdmissionController(max(config.max_queue, 1))
+            # the shard's own registry carries its front-door stats, so
+            # a repro.obs/1 snapshot of the stack sees admission too
+            stack.obs.register_source(
+                f"serve.shard{index}.admission",
+                lambda a=admission, s=stack: dict(
+                    a.stats.to_dict(), depth=a.peek_depth(s.now)
+                ),
+            )
             self.shards.append(
                 Shard(index, stack, db, admission, config.window_ns)
             )
         self.tenants: Dict[str, TenantStats] = {}
         self.tenant_latency: Dict[str, WindowedHistogram] = {}
-        #: cluster-wide latency, for the run timeline
-        self.latency = WindowedHistogram("serve.latency_ns", config.window_ns)
+        #: cluster-wide latency, for the run timeline; lives on the
+        #: cluster registry when telemetry is on so the sampler sees it
+        if self.obs.enabled:
+            self.latency = self.obs.windowed_histogram(
+                "serve.latency_ns", config.window_ns
+            )
+        else:
+            self.latency = WindowedHistogram(
+                "serve.latency_ns", config.window_ns
+            )
+        #: front-door counters (null singletons when telemetry is off)
+        self._c_offered = self.obs.counter("serve.offered")
+        self._c_served = self.obs.counter("serve.served")
+        self._c_queued = self.obs.counter("serve.queued")
+        self._c_shed = self.obs.counter("serve.shed")
         #: shed counts per window index, for the timeline
         self.shed_by_window: Dict[int, int] = {}
 
@@ -179,6 +212,7 @@ class ServeCluster:
         ]
         tenant = self._tenant(request.tenant)
         at = request.arrival
+        self._c_offered.inc()
         if self.config.max_queue > 0:
             decision = shard.admission.decide(
                 at, shard.db.write_pressure()
@@ -186,6 +220,7 @@ class ServeCluster:
             if decision == SHED:
                 tenant.shed += 1
                 shard.shed += 1
+                self._c_shed.inc()
                 window = at // self.config.window_ns
                 self.shed_by_window[window] = (
                     self.shed_by_window.get(window, 0) + 1
@@ -193,6 +228,7 @@ class ServeCluster:
                 return None
             if decision == QUEUE:
                 tenant.queued += 1
+                self._c_queued.inc()
         key = self.router.storage_key(request.tenant, request.key)
         if request.op == OP_PUT:
             done = shard.db.put(key, request.value, at=at)
@@ -205,6 +241,7 @@ class ServeCluster:
         latency = done - at
         tenant.served += 1
         shard.served += 1
+        self._c_served.inc()
         self.tenant_latency[request.tenant].record(at, latency)
         shard.latency.record(at, latency)
         self.latency.record(at, latency)

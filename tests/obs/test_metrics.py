@@ -214,3 +214,61 @@ def test_null_registry_windowed_histogram_is_noop():
     wh.record(0, 123)
     assert wh.count == 0
     assert wh.window_indices() == []
+
+
+def test_count_over_is_exact_at_bucket_bounds():
+    """count_over splits good/bad exactly when the bound is a bucket edge.
+
+    Buckets hold ``(lo, hi]``, so a value equal to the bound counts as
+    *within* it — meeting a 100 us objective at exactly 100 us is good.
+    """
+    h = Histogram("lat")
+    h.record(50_000)
+    h.record(100_000)   # == bound: within
+    h.record(100_001)   # strictly over
+    h.record(5_000_000)
+    assert h.count_over(100_000) == 2
+    assert h.count_over(50_000) == 3
+    # over the top bucket bound nothing can be counted twice
+    assert h.count_over(h.bounds[-1]) == 0
+    # a non-bound threshold counts the whole enclosing bucket as over
+    assert h.count_over(99_999) == 3
+    # empty histogram: zero, not an error
+    assert Histogram("empty").count_over(100_000) == 0
+
+
+def test_windowed_histogram_single_sample_median():
+    wh = WindowedHistogram("lat", window_ns=1000)
+    wh.record(100, 500)
+    assert wh.median_over_windows(99.9) == wh.max_over_windows(99.9) > 0
+
+
+def test_windowed_histogram_gap_windows_do_not_dilute_median():
+    """Only materialised windows enter the stats — gaps are not zeros."""
+    wh = WindowedHistogram("lat", window_ns=1000)
+    wh.record(100, 1_000_000)   # window 0: slow
+    wh.record(5_500, 1_000_000)  # window 5: slow; 1-4 never existed
+    assert wh.window_indices() == [0, 5]
+    assert wh.median_over_windows(99.9) == wh.max_over_windows(99.9)
+
+
+def test_null_windowed_histogram_record_allocates_nothing():
+    assert NULL_WINDOWED_HISTOGRAM.windows == {}
+    NULL_WINDOWED_HISTOGRAM.record(123, 456)
+    NULL_WINDOWED_HISTOGRAM.record(999_999, 1)
+    assert NULL_WINDOWED_HISTOGRAM.windows == {}  # no lazy Histogram made
+    assert NULL_WINDOWED_HISTOGRAM.count == 0
+
+
+def test_registry_iterators_are_sorted_and_null_is_empty():
+    reg = MetricRegistry()
+    reg.counter("b.ops")
+    reg.counter("a.ops")
+    reg.gauge("z.depth")
+    reg.windowed_histogram("m.lat", 1000)
+    assert [n for n, _ in reg.iter_counters()] == ["a.ops", "b.ops"]
+    assert [n for n, _ in reg.iter_gauges()] == ["z.depth"]
+    assert [n for n, _ in reg.iter_windowed()] == ["m.lat"]
+    assert NULL_REGISTRY.iter_counters() == []
+    assert NULL_REGISTRY.iter_gauges() == []
+    assert NULL_REGISTRY.iter_windowed() == []

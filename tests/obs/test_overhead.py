@@ -77,3 +77,39 @@ def test_tracing_overhead_is_bounded():
     _, base = run_once()
     _, traced = run_once(trace=True)
     assert traced < max(base, 0.05) * 50
+
+
+def test_disabled_run_creates_no_timeseries_or_slo_objects(monkeypatch):
+    """With no telemetry rig attached, the continuous-telemetry layer
+    (PR 10) must never be constructed: no Series, no sampler, no SLO
+    monitors — the disabled path stays allocation-free."""
+    from repro.obs import slo as slo_module
+    from repro.obs import timeseries as ts_module
+
+    created = []
+    for cls in (
+        ts_module.Series,
+        ts_module.TimeSeriesSampler,
+        slo_module.SLOMonitor,
+    ):
+        original = cls.__init__
+
+        def counting_init(self, *args, _original=original, **kwargs):
+            created.append(type(self).__name__)
+            return _original(self, *args, **kwargs)
+
+        monkeypatch.setattr(cls, "__init__", counting_init)
+    run_once()
+    assert not created
+
+
+def test_pressure_gauge_only_exists_when_observed():
+    """db.write_pressure() telemetry is gated on the observe flag."""
+    config = ScaledConfig(scale=20000.0, seed=7)
+    result, stack, db = run_fillrandom("noblsm", config)
+    assert not hasattr(db, "_pressure_gauge")
+    observed = ScaledConfig(scale=20000.0, seed=7, observe=True)
+    result, stack, db = run_fillrandom("noblsm", observed)
+    snap = stack.obs.snapshot()
+    assert "db.write_pressure" in snap["gauges"]
+    assert "db.write_pressure.transitions" in snap["counters"]

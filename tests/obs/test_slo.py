@@ -1,0 +1,177 @@
+"""SLO specs, error budgets, and multi-window burn-rate alerting."""
+
+import pytest
+
+from repro.obs.metrics import MetricRegistry, WindowedHistogram
+from repro.obs.slo import (
+    AVAILABILITY,
+    LATENCY,
+    BurnRateRule,
+    CounterRatioSource,
+    LatencyThresholdSource,
+    SLOMonitor,
+    SLOSpec,
+    default_burn_rules,
+)
+
+RULES = (
+    BurnRateRule("fast-burn", long_window_ns=10_000, short_window_ns=2_000,
+                 burn_threshold=10.0),
+)
+
+
+class ScriptedSource:
+    """Feeds a scripted sequence of (good, bad) deltas."""
+
+    def __init__(self, deltas):
+        self.deltas = list(deltas)
+
+    def take(self, at):
+        return self.deltas.pop(0) if self.deltas else (0, 0)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        SLOSpec("x", LATENCY, target=1.0, threshold_ns=100)
+    with pytest.raises(ValueError):
+        SLOSpec("x", "throughput", target=0.99)
+    with pytest.raises(ValueError):
+        SLOSpec("x", LATENCY, target=0.99)  # latency needs a threshold
+    SLOSpec("x", AVAILABILITY, target=0.99)  # availability does not
+
+
+def test_rule_validation_and_defaults():
+    with pytest.raises(ValueError):
+        BurnRateRule("bad", long_window_ns=100, short_window_ns=200,
+                     burn_threshold=1.0)
+    with pytest.raises(ValueError):
+        BurnRateRule("bad", long_window_ns=100, short_window_ns=50,
+                     burn_threshold=0.0)
+    fast, slow = default_burn_rules(1_000_000)
+    assert fast.name == "fast-burn"
+    assert (fast.long_window_ns, fast.short_window_ns) == (100_000, 25_000)
+    assert fast.burn_threshold == 14.4
+    assert slow.name == "slow-burn"
+    assert (slow.long_window_ns, slow.short_window_ns) == (333_333, 100_000)
+    assert slow.burn_threshold == 6.0
+    with pytest.raises(ValueError):
+        default_burn_rules(0)
+
+
+def test_counter_ratio_source_takes_deltas():
+    registry = MetricRegistry()
+    good, bad = registry.counter("served"), registry.counter("shed")
+    source = CounterRatioSource(good, bad)
+    good.inc(10)
+    bad.inc(1)
+    assert source.take(0) == (10, 1)
+    good.inc(5)
+    assert source.take(1) == (5, 0)
+
+
+def test_latency_threshold_source_splits_on_exact_bucket_bound():
+    hist = WindowedHistogram("lat", window_ns=1000)
+    source = LatencyThresholdSource(hist, threshold_ns=100_000)
+    hist.record(0, 50_000)   # good
+    hist.record(0, 100_000)  # good: buckets hold (lo, hi], bound included
+    hist.record(0, 100_001)  # bad: strictly over the threshold
+    assert source.take(0) == (2, 1)
+    hist.record(0, 99_999)
+    assert source.take(1) == (1, 0)
+
+
+def test_burn_rate_math_over_trailing_windows():
+    spec = SLOSpec("avail", AVAILABILITY, target=0.999)
+    monitor = SLOMonitor(spec, ScriptedSource([(99, 1), (100, 0)]), RULES)
+    monitor.observe(1000)
+    # 1 bad / 100 total = 1% bad; budget is 0.1% -> burn 10x
+    assert monitor.burn_rate(1000, 10_000) == pytest.approx(10.0)
+    monitor.observe(2000)
+    # trailing 10us window now holds both samples: 1/200 -> 5x
+    assert monitor.burn_rate(2000, 10_000) == pytest.approx(5.0)
+    # a window covering only the clean sample burns 0
+    assert monitor.burn_rate(2000, 1000) == pytest.approx(0.0)
+    # empty window -> 0, not NaN
+    assert monitor.burn_rate(50_000, 1000) == 0.0
+
+
+def test_alert_fires_only_when_both_windows_burn():
+    spec = SLOSpec("avail", AVAILABILITY, target=0.99)
+    # long window 10us, short 2us, threshold 10x (= 10% bad at 1% budget)
+    monitor = SLOMonitor(
+        spec,
+        ScriptedSource([(80, 20), (100, 0), (100, 0)]),
+        RULES,
+    )
+    monitor.observe(1000)  # long 20x, short 20x -> fires
+    assert len(monitor.alerts) == 1
+    alert = monitor.alerts[0]
+    assert (alert.slo, alert.rule) == ("avail", "fast-burn")
+    assert alert.fired_at_ns == 1000
+    assert alert.resolved_at_ns is None
+    monitor.observe(3500)  # long still 10x, short (last 2us) clean -> resolves
+    assert alert.resolved_at_ns == 3500
+    monitor.observe(4000)
+    assert len(monitor.alerts) == 1  # no re-fire while clean
+
+
+def test_long_window_alone_does_not_fire():
+    spec = SLOSpec("avail", AVAILABILITY, target=0.99)
+    monitor = SLOMonitor(
+        spec, ScriptedSource([(0, 20), (50, 0)]), RULES
+    )
+    monitor.observe(1000)
+    fired = len(monitor.alerts)
+    # second sample: the long window still burns hard (20 bad / 70 total
+    # = 28.6x at a 1% budget) but the short window holds only the clean
+    # sample — no new alert may fire
+    monitor.observe(4000)
+    assert monitor.burn_rate(4000, 10_000) > 10.0
+    assert monitor.burn_rate(4000, 2_000) == 0.0
+    assert len(monitor.alerts) == fired
+
+
+def test_peak_burn_and_budget_accounting():
+    spec = SLOSpec("avail", AVAILABILITY, target=0.999)
+    monitor = SLOMonitor(
+        spec, ScriptedSource([(999, 1), (998, 2), (1000, 0)]), RULES
+    )
+    for t in (1000, 2000, 3000):
+        monitor.observe(t)
+    assert monitor.good_total == 2997
+    assert monitor.bad_total == 3
+    assert monitor.total == 3000
+    # allowed = 0.1% of 3000 = 3 bad -> exactly at budget
+    assert monitor.budget_consumed == pytest.approx(1.0)
+    assert monitor.peak_burn > 0.0
+    snap = monitor.snapshot()
+    assert snap["good"] == 2997 and snap["bad"] == 3
+    assert snap["spec"]["name"] == "avail"
+    assert [r["name"] for r in snap["rules"]] == ["fast-burn"]
+
+
+def test_empty_monitor_is_calm():
+    spec = SLOSpec("lat", LATENCY, target=0.999, threshold_ns=100_000)
+    monitor = SLOMonitor(spec, ScriptedSource([]), RULES)
+    monitor.observe(1000)
+    assert monitor.last_burn == 0.0
+    assert monitor.budget_consumed == 0.0
+    assert not monitor.alerts
+    with pytest.raises(ValueError):
+        SLOMonitor(spec, ScriptedSource([]), ())
+
+
+def test_alert_peak_tracks_while_active():
+    spec = SLOSpec("avail", AVAILABILITY, target=0.99)
+    monitor = SLOMonitor(
+        spec,
+        ScriptedSource([(50, 50), (20, 80), (100, 0)]),
+        RULES,
+    )
+    monitor.observe(1000)
+    monitor.observe(2000)  # worse while active: peak rises, same alert
+    assert len(monitor.alerts) == 1
+    alert = monitor.alerts[0]
+    assert alert.peak_burn > alert.burn_long
+    assert monitor.alerts_for("fast-burn") == [alert]
+    assert alert.to_dict()["peak_burn"] == round(alert.peak_burn, 3)

@@ -1,0 +1,173 @@
+"""The virtual-time sampler: deltas, windows, probes, ring, re-arming."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import NULL_REGISTRY, MetricRegistry
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    Series,
+    TimeSeriesSampler,
+    _percentile_label,
+)
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue
+
+
+def make_sampler(interval_ns=1000, **kwargs):
+    registry = MetricRegistry()
+    return registry, TimeSeriesSampler(registry, interval_ns, **kwargs)
+
+
+def test_percentile_labels_match_repo_idiom():
+    assert _percentile_label(50.0) == "p50"
+    assert _percentile_label(99.0) == "p99"
+    assert _percentile_label(99.9) == "p999"
+
+
+def test_sampler_refuses_disabled_registry_and_bad_interval():
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(NULL_REGISTRY, 1000)
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(MetricRegistry(), 0)
+
+
+def test_counter_series_records_per_tick_deltas():
+    registry, sampler = make_sampler()
+    ops = registry.counter("ops")
+    ops.inc(5)
+    sampler.sample(1000)
+    ops.inc(2)
+    sampler.sample(2000)
+    sampler.sample(3000)  # no increments this tick
+    series = sampler.series["ops.delta"]
+    assert series.kind == "counter"
+    assert series.points() == [(1000, 5), (2000, 2), (3000, 0)]
+
+
+def test_gauge_series_records_levels():
+    registry, sampler = make_sampler()
+    depth = registry.gauge("depth")
+    depth.set(3)
+    sampler.sample(1000)
+    depth.set(7)
+    sampler.sample(2000)
+    assert sampler.series["depth"].points() == [(1000, 3), (2000, 7)]
+
+
+def test_windowed_series_emits_each_closed_window_exactly_once():
+    registry, sampler = make_sampler(interval_ns=1000)
+    lat = registry.windowed_histogram("lat", 1000)
+    lat.record(100, 10)
+    lat.record(200, 30)
+    # window 0 not closed yet at t=999 (closed count = 999 // 1000 = 0)
+    sampler.sample(999)
+    assert "lat.ops" not in sampler.series
+    lat.record(1100, 50)
+    sampler.sample(1999)  # closes window 0 only
+    ops = sampler.series["lat.ops"]
+    assert ops.kind == "window"
+    assert ops.points() == [(1000, 2)]  # stamped at the window *end*
+    assert sampler.series["lat.p50"].points()[0][0] == 1000
+    sampler.sample(2999)  # closes window 1
+    assert ops.points() == [(1000, 2), (2000, 1)]
+    # re-sampling never re-emits a consumed window
+    sampler.sample(3999)
+    assert ops.points() == [(1000, 2), (2000, 1)]
+
+
+def test_windowed_series_skips_empty_gap_windows():
+    registry, sampler = make_sampler()
+    lat = registry.windowed_histogram("lat", 1000)
+    lat.record(100, 10)
+    lat.record(5100, 20)  # windows 0 and 5, nothing between
+    sampler.sample(10_000)
+    assert sampler.series["lat.ops"].points() == [(1000, 1), (6000, 1)]
+
+
+def test_probes_sample_levels_and_none_skips_the_tick():
+    registry, sampler = make_sampler()
+    values = iter([4.0, None, 2.0])
+    sampler.add_probe("queue", lambda at: next(values))
+    sampler.sample(1000)
+    sampler.sample(2000)
+    sampler.sample(3000)
+    series = sampler.series["queue"]
+    assert series.kind == "probe"
+    assert series.points() == [(1000, 4.0), (3000, 2.0)]
+
+
+def test_ring_buffer_drops_oldest_and_counts_them():
+    series = Series("x", "gauge", capacity=3)
+    for i in range(5):
+        series.append(i, float(i))
+    assert series.dropped == 2
+    assert series.points() == [(2, 2.0), (3, 3.0), (4, 4.0)]
+    assert series.to_dict()["dropped"] == 2
+    with pytest.raises(ValueError):
+        Series("bad", "gauge", capacity=0)
+
+
+def test_sampling_is_idempotent_per_timestamp():
+    registry, sampler = make_sampler()
+    ops = registry.counter("ops")
+    ops.inc(3)
+    sampler.sample(1000)
+    sampler.sample(1000)  # same instant: no double-counted delta
+    sampler.sample(500)  # the past: ignored
+    assert sampler.samples == 1
+    assert sampler.series["ops.delta"].points() == [(1000, 3)]
+
+
+def test_attach_rearms_until_stop():
+    registry, sampler = make_sampler(interval_ns=1000)
+    clock = VirtualClock()
+    events = EventQueue(clock)
+    ops = registry.counter("ops")
+    sampler.attach(events)
+    ops.inc()
+    events.run_until(3500)
+    assert [t for t, _ in sampler.series["ops.delta"].points()] == [
+        1000, 2000, 3000,
+    ]
+    sampler.finish(3500)  # final partial-interval sample + disarm
+    assert sampler.last_sample_ns == 3500
+    events.run_until(10_000)
+    assert sampler.samples == 4  # no ticks after finish
+
+
+def test_document_shape_and_json_round_trip():
+    registry, sampler = make_sampler()
+    registry.counter("ops").inc()
+    registry.gauge("depth").set(2)
+    sampler.add_probe("tokens", lambda at: 7.0)
+    sampler.sample(1000)
+    doc = sampler.document({"target": "test"})
+    assert doc["schema"] == TIMESERIES_SCHEMA
+    assert doc["meta"] == {"target": "test"}
+    assert doc["samples"] == 1
+    assert sorted(doc["series"]) == list(doc["series"])
+    assert doc["series"]["tokens"]["points"] == [[1000, 7.0]]
+    assert json.loads(json.dumps(doc)) == doc
+
+
+def test_monitor_burn_series_follows_observe():
+    class FakeSpec:
+        name = "latency"
+
+    class FakeMonitor:
+        spec = FakeSpec()
+        last_burn = 0.0
+
+        def observe(self, at):
+            self.last_burn = at / 1000.0
+
+    registry, sampler = make_sampler()
+    sampler.add_monitor(FakeMonitor())
+    sampler.sample(1000)
+    sampler.sample(2000)
+    assert sampler.series["slo.latency.burn"].kind == "slo"
+    assert sampler.series["slo.latency.burn"].points() == [
+        (1000, 1.0), (2000, 2.0),
+    ]

@@ -113,3 +113,23 @@ def test_stats_to_dict_is_sorted_and_complete():
     assert set(data) == {
         "admitted", "queued", "shed", "queued_ns", "shed_by_pressure",
     }
+
+
+def test_peek_depth_counts_without_expiring():
+    """peek_depth is the observability view: same number, no mutation.
+
+    depth() pops expired completions, so a probe timestamped after the
+    next arrival would change what that arrival's decide() sees —
+    peek_depth must leave the pending deque intact.
+    """
+    ctrl = AdmissionController(8)
+    for done in (100, 200, 300):
+        ctrl.note_completion(0, done)
+    assert ctrl.peek_depth(0) == 3
+    assert ctrl.peek_depth(150) == 2
+    assert ctrl.peek_depth(250) == 1
+    assert ctrl.peek_depth(999) == 0
+    # nothing was popped: the mutating view still sees all three
+    assert len(ctrl._pending) == 3
+    assert ctrl.depth(150) == 2  # and agrees with the peek
+    assert len(ctrl._pending) == 2  # ...but actually expired one

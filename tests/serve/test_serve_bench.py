@@ -205,3 +205,37 @@ def test_closed_loop_mode_runs():
 def test_unknown_mode_rejected():
     with pytest.raises(ValueError):
         run_serve(ServeConfig(duration_s=0.001, mode="bogus"))
+
+
+def test_shard_registry_exposes_admission_source():
+    """Each shard's stack registry carries its front-door stats, so a
+    ``repro.obs/1`` snapshot of the shard sees admission alongside the
+    fs/device metrics (PR 8 left these unregistered)."""
+    from repro.serve.cluster import ServeCluster
+
+    cluster = ServeCluster(TINY.cluster_config())
+    from repro.serve.loadgen import open_loop
+
+    for request in open_loop(TINY.load_config()):
+        cluster.serve(request)
+    for index, shard in enumerate(cluster.shards):
+        snap = shard.stack.obs.snapshot()
+        source = snap["sources"][f"serve.shard{index}.admission"]
+        assert {"admitted", "queued", "shed", "queued_ns",
+                "shed_by_pressure", "depth"} <= set(source)
+        stats = shard.admission.stats
+        assert source["admitted"] == stats.admitted
+        assert source["shed"] == stats.shed
+        # the snapshot's depth probe is the read-only view
+        assert source["depth"] == shard.admission.peek_depth(shard.stack.now)
+
+
+def test_cluster_without_telemetry_uses_null_front_door():
+    """No cluster registry -> the shared null singletons, no accounting."""
+    from repro.obs.metrics import NULL_COUNTER, NULL_REGISTRY
+    from repro.serve.cluster import ServeCluster
+
+    cluster = ServeCluster(TINY.cluster_config())
+    assert cluster.obs is NULL_REGISTRY
+    assert cluster._c_offered is NULL_COUNTER
+    assert cluster._c_offered.value == 0

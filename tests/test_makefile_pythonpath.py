@@ -22,6 +22,7 @@ GATE_TARGETS = [
     "soak-gate",
     "serve-gate",
     "amplification-gate",
+    "slo-gate",
 ]
 
 
